@@ -1,0 +1,56 @@
+//! FFT and Strassen benches — the Section 3 "no WA schedule exists"
+//! algorithms at wall-clock, next to the WA classical matmul.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cdag::fft::fft_mem;
+use cdag::strassen::{strassen_mem, strassen_scratch_words};
+use dense::desc::alloc_layout;
+use dense::matmul::{blocked_matmul, LoopOrder};
+use memsim::{Mem, RawMem};
+use wa_core::Mat;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [1usize << 10, 1 << 14] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("cooley_tukey", n), &n, |b, &n| {
+            let mut mem = RawMem::new(2 * n);
+            for i in 0..2 * n {
+                mem.st(i, (i as f64 * 0.7).sin());
+            }
+            b.iter(|| fft_mem(&mut mem, 0, n));
+        });
+    }
+    g.finish();
+}
+
+fn bench_strassen_vs_classical(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strassen");
+    g.sample_size(20);
+    for n in [64usize, 128] {
+        let (d, words) = alloc_layout(&[(n, n), (n, n), (n, n)]);
+        g.bench_with_input(BenchmarkId::new("strassen_cutoff16", n), &n, |b, &n| {
+            let mut mem = RawMem::new(words + strassen_scratch_words(n));
+            d[0].store_mat(&mut mem, &Mat::random(n, n, 1));
+            d[1].store_mat(&mut mem, &Mat::random(n, n, 2));
+            b.iter(|| strassen_mem(&mut mem, d[0], d[1], d[2], words, 16));
+        });
+        g.bench_with_input(BenchmarkId::new("classical_wa", n), &n, |b, &n| {
+            let mut mem = RawMem::new(words);
+            d[0].store_mat(&mut mem, &Mat::random(n, n, 1));
+            d[1].store_mat(&mut mem, &Mat::random(n, n, 2));
+            b.iter(|| blocked_matmul(&mut mem, d[0], d[1], d[2], 32, LoopOrder::Ijk));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fft, bench_strassen_vs_classical
+}
+criterion_main!(benches);

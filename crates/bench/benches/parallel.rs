@@ -1,0 +1,96 @@
+//! Parallel-algorithm benches: the 2.5D replication-factor sweep (the
+//! Model 2.1 ablation) and the Model 2.2 pair, timing the event simulator
+//! with real arithmetic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parallel::cannon::cannon;
+use parallel::lu::{parallel_lu, LunpVariant};
+use parallel::machine::{Machine, Staging};
+use parallel::mm25d::{mm25d, Mm25Config};
+use parallel::summa::{summa, summa_l3_ool2};
+use wa_core::{CostParams, Mat};
+
+fn bench_matmul_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel/matmul");
+    g.sample_size(10);
+    let n = 64;
+    let a = Mat::random(n, n, 1);
+    let b = Mat::random(n, n, 2);
+
+    g.bench_function("summa_p16", |bch| {
+        bch.iter(|| {
+            let mut m = Machine::new(16, CostParams::nvm_cluster());
+            summa(&mut m, &a, &b, 4, 16, Staging::L2)
+        });
+    });
+    g.bench_function("cannon_p16", |bch| {
+        bch.iter(|| {
+            let mut m = Machine::new(16, CostParams::nvm_cluster());
+            cannon(&mut m, &a, &b, 4, Staging::L2)
+        });
+    });
+    for c_factor in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("mm25d_p64_c", c_factor),
+            &c_factor,
+            |bch, &cf| {
+                bch.iter(|| {
+                    let mut m = Machine::new(64, CostParams::nvm_cluster());
+                    mm25d(
+                        &mut m,
+                        &a,
+                        &b,
+                        Mm25Config {
+                            p: 64,
+                            c: cf,
+                            at: Staging::L2,
+                            ool2: false,
+                            m2: 48,
+                        },
+                    )
+                });
+            },
+        );
+    }
+    g.bench_function("summa_l3_ool2_p16", |bch| {
+        bch.iter(|| {
+            let mut m = Machine::new(16, CostParams::nvm_cluster());
+            summa_l3_ool2(&mut m, &a, &b, 4, 48)
+        });
+    });
+    g.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel/lu");
+    g.sample_size(10);
+    let n = 48;
+    let mut a0 = Mat::random(n, n, 3);
+    for i in 0..n {
+        a0[(i, i)] = a0[(i, i)].abs() + n as f64;
+    }
+    for (name, v) in [
+        ("ll_lunp", LunpVariant::LeftLooking),
+        ("rl_lunp", LunpVariant::RightLooking),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &v, |bch, &v| {
+            bch.iter(|| {
+                let mut a = a0.clone();
+                let mut m = Machine::new(16, CostParams::nvm_cluster());
+                parallel_lu(&mut m, &mut a, 4, v);
+                m.max_counters().l3_write_words
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_matmul_algorithms, bench_lu
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! TRSM / Cholesky / LU variant benches (Algorithms 2 and 3 and the §7.2
+//! sequential substrate): write-avoiding vs eager orders at wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dense::cholesky::{blocked_cholesky, CholVariant};
+use dense::desc::alloc_layout;
+use dense::lu::{blocked_lu, LuVariant};
+use dense::trsm::{blocked_trsm, TrsmVariant};
+use memsim::RawMem;
+use wa_core::Mat;
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trsm/variant");
+    let n = 128;
+    let t = Mat::random_upper_triangular(n, 1);
+    let rhs = Mat::random(n, n, 2);
+    for (name, v) in [
+        ("write_avoiding", TrsmVariant::WriteAvoiding),
+        ("right_looking", TrsmVariant::RightLooking),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &v, |b, &v| {
+            let (d, words) = alloc_layout(&[(n, n), (n, n)]);
+            let mut mem = RawMem::new(words);
+            d[0].store_mat(&mut mem, &t);
+            b.iter(|| {
+                d[1].store_mat(&mut mem, &rhs);
+                blocked_trsm(&mut mem, d[0], d[1], 32, v);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cholesky/variant");
+    let n = 128;
+    let a = Mat::random_spd(n, 3);
+    for (name, v) in [
+        ("left_looking", CholVariant::LeftLooking),
+        ("right_looking", CholVariant::RightLooking),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &v, |b, &v| {
+            let (d, words) = alloc_layout(&[(n, n)]);
+            let mut mem = RawMem::new(words);
+            b.iter(|| {
+                d[0].store_mat(&mut mem, &a);
+                blocked_cholesky(&mut mem, d[0], 32, v);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lu/variant");
+    let n = 128;
+    let mut a = Mat::random(n, n, 4);
+    for i in 0..n {
+        a[(i, i)] = a[(i, i)].abs() + n as f64;
+    }
+    for (name, v) in [
+        ("left_looking", LuVariant::LeftLooking),
+        ("right_looking", LuVariant::RightLooking),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &v, |b, &v| {
+            let (d, words) = alloc_layout(&[(n, n)]);
+            let mut mem = RawMem::new(words);
+            b.iter(|| {
+                d[0].store_mat(&mut mem, &a);
+                blocked_lu(&mut mem, d[0], 32, v);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_trsm, bench_cholesky, bench_lu
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! harness <command> [--scale small|paper]
+//!
+//! commands:
+//!   fig2        Figure 2 panels (L3 counters, matmul variants)
+//!   fig5        Figure 5 (multi-level vs slab order × block sizes)
+//!   lru-props   Propositions 6.1/6.2 (exact LRU write-backs)
+//!   table1      Table 1 cost model (Model 2.1)
+//!   table2      Table 2 cost model + measured comparison (Model 2.2)
+//!   theorem4    Theorem 4 trade-off, measured
+//!   lu-parallel LL-LUNP vs RL-LUNP (§7.2)
+//!   ksm         CG vs CA-CG vs streaming CA-CG writes (§8)
+//!   bounds      Corollaries 2/3 and Theorem 1 checks
+//!   wa-optimal  Explicit-model write optimality of Algorithms 1–4
+//!   sorting     §9 sorting conjecture: merge sort vs low-write selection
+//!   model1      §7 Model 1: the Θ(√P) local-write gap and its memory price
+//!   all         everything above
+//! ```
+
+use wa_bench::scale::{Repl, Scale};
+use parallel;
+use wa_bench::{bounds_exp, fig2, fig5, ksm, lu_par, props, sorting, tables, theorem4, waopt};
+use wa_core::CostParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| Scale::parse(s))
+        .unwrap_or(Scale::Small);
+    let repl = args
+        .iter()
+        .position(|a| a == "--policy")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| Repl::parse(s))
+        .unwrap_or(Repl::FaLru);
+
+    let run = |c: &str| match c {
+        "fig2" => fig2::run_figure(scale, repl),
+        "fig5" => fig5::run_figure(scale, repl),
+        "lru-props" => props::run(128, 24),
+        "table1" => {
+            let cp = CostParams::nvm_cluster();
+            tables::table1(1e5, 4096.0, 4.0, 16.0, &cp);
+        }
+        "table2" => {
+            let cp = CostParams::nvm_cluster();
+            tables::table2(1e6, 65536.0, 8.0, &cp);
+            tables::measured_comparison(48, 64, 4, 48);
+        }
+        "theorem4" => theorem4::run(64, 16, 48),
+        "lu-parallel" => lu_par::run(64, 16, 4),
+        "ksm" => ksm::run(32, 8, 10),
+        "bounds" => {
+            bounds_exp::fft_table(&[1 << 10, 1 << 12, 1 << 14], 256);
+            bounds_exp::strassen_table(&[32, 64], 384);
+            bounds_exp::theorem1_table();
+        }
+        "wa-optimal" => waopt::run(24),
+        "sorting" => sorting::run(4096, 64),
+        "model1" => {
+            use parallel::machine::Machine;
+            use parallel::model1::{summa_hoarded, summa_local_wa};
+            use wa_core::Mat;
+            let (n, q) = (64usize, 4usize);
+            let a = Mat::random(n, n, 51);
+            let b = Mat::random(n, n, 52);
+            let mut m1 = Machine::new(q * q, CostParams::nvm_cluster());
+            let (_, step) = summa_local_wa(&mut m1, &a, &b, q, 1 << 20);
+            let mut m2 = Machine::new(q * q, CostParams::nvm_cluster());
+            let (_, hoard) = summa_hoarded(&mut m2, &a, &b, q, 1 << 20);
+            println!("\n== Model 1 (n={n}, P={}): writes to L2 from L1 vs W1 ==", q * q);
+            println!("{:<22} {:>12} {:>8} {:>14}", "variant", "L1->L2 words", "W1", "L2 words needed");
+            println!("{:<22} {:>12} {:>8} {:>14}", "SUMMA + local WA", step.l2_writes_from_l1, step.w1, step.l2_capacity_needed);
+            println!("{:<22} {:>12} {:>8} {:>14}", "SUMMA hoarded panels", hoard.l2_writes_from_l1, hoard.w1, hoard.l2_capacity_needed);
+            println!("the bound is attainable only with ~sqrt(P) times the L2 capacity (paper: 'likely not realistic')");
+        }
+        other => {
+            eprintln!("unknown command `{other}`; see the harness docs");
+            std::process::exit(2);
+        }
+    };
+
+    if cmd == "all" {
+        for c in [
+            "wa-optimal",
+            "bounds",
+            "lru-props",
+            "fig2",
+            "fig5",
+            "table1",
+            "table2",
+            "theorem4",
+            "lu-parallel",
+            "ksm",
+            "sorting",
+            "model1",
+        ] {
+            run(c);
+        }
+    } else {
+        run(cmd);
+    }
+}

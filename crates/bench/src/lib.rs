@@ -1,0 +1,25 @@
+//! # wa-bench — experiment harness
+//!
+//! One module per paper artifact; the `harness` binary dispatches to them.
+//! See DESIGN.md's per-experiment index (E1–E16) and EXPERIMENTS.md for
+//! recorded outputs.
+//!
+//! All experiments run at a *scaled* geometry by default (capacities ÷256
+//! vs. the paper's Xeon 7560, dimensions ÷16) and at the reference scale
+//! (÷64 capacities, ÷8 dimensions) with `--scale paper`; see
+//! [`scale::Scale`] for the exact mapping and `memsim::xeon` for why the
+//! block-per-cache ratios — which drive every observed effect — are
+//! preserved.
+
+pub mod bounds_exp;
+pub mod fig2;
+pub mod fig5;
+pub mod ksm;
+pub mod lu_par;
+pub mod props;
+pub mod scale;
+pub mod sorting;
+pub mod tables;
+pub mod theorem4;
+pub mod util;
+pub mod waopt;

@@ -1,0 +1,155 @@
+//! Tables 1 and 2 — parallel matmul communication costs: the paper's
+//! closed-form entries next to the event simulator's measured counts.
+
+use crate::util::{print_table, sci};
+use parallel::costmodel::{
+    table1_25dmml2, table1_25dmml3, table1_2dmml2, table2_25dmml3_ool2, table2_summal3_ool2,
+    CommCosts,
+};
+use parallel::machine::{Machine, Staging};
+use parallel::mm25d::{mm25d, Mm25Config};
+use parallel::summa::summa_l3_ool2;
+use wa_core::{CostParams, Mat};
+
+fn model_row(name: &str, c: &CommCosts) -> Vec<String> {
+    vec![
+        name.to_string(),
+        sci(c.l21_words),
+        sci(c.l12_words),
+        sci(c.nw_words),
+        sci(c.l32_words),
+        sci(c.l23_words),
+    ]
+}
+
+/// Print Table 1 (Model 2.1) for given parameters.
+pub fn table1(n: f64, p: f64, c2: f64, c3: f64, cp: &CostParams) {
+    let rows = vec![
+        model_row("2DMML2", &table1_2dmml2(n, p, cp)),
+        model_row("2.5DMML2", &table1_25dmml2(n, p, c2, cp)),
+        model_row("2.5DMML3", &table1_25dmml3(n, p, c2, c3, cp)),
+    ];
+    print_table(
+        &format!("Table 1 (words): n={n:.0} P={p:.0} c2={c2:.0} c3={c3:.0}"),
+        &["algorithm", "L2->L1", "L1->L2", "network", "L3->L2", "L2->L3"],
+        &rows,
+    );
+    println!(
+        "Model 2.1 decision ratio sqrt(c3/c2)*bNW/(bNW+1.5*b23+b32) = {:.3}  (>1 favors NVM replication)",
+        parallel::costmodel::model21_decision_ratio(c2, c3, cp)
+    );
+}
+
+/// Print Table 2 (Model 2.2).
+pub fn table2(n: f64, p: f64, c3: f64, cp: &CostParams) {
+    let rows = vec![
+        model_row("2.5DMML3ooL2", &table2_25dmml3_ool2(n, p, c3, cp)),
+        model_row("SUMMAL3ooL2", &table2_summal3_ool2(n, p, cp)),
+    ];
+    print_table(
+        &format!("Table 2 (words): n={n:.0} P={p:.0} c3={c3:.0}"),
+        &["algorithm", "L2->L1", "L1->L2", "network", "L3->L2", "L2->L3"],
+        &rows,
+    );
+}
+
+/// Measured counterpart: run the simulator at an executable size and
+/// compare network words and NVM writes against the model's leading terms.
+pub fn measured_comparison(n: usize, p: usize, c: usize, m2: u64) {
+    let a = Mat::random(n, n, 11);
+    let b = Mat::random(n, n, 12);
+    let cp = CostParams::nvm_cluster();
+
+    let mut m1 = Machine::new(p, cp);
+    let _ = mm25d(
+        &mut m1,
+        &a,
+        &b,
+        Mm25Config {
+            p,
+            c: 1,
+            at: Staging::L2,
+            ool2: false,
+            m2,
+        },
+    );
+    let mut mc = Machine::new(p, cp);
+    let _ = mm25d(
+        &mut mc,
+        &a,
+        &b,
+        Mm25Config {
+            p,
+            c,
+            at: Staging::L2,
+            ool2: false,
+            m2,
+        },
+    );
+    let q = (p as f64).sqrt();
+    let rows = vec![
+        vec![
+            "2D (c=1) measured".into(),
+            m1.max_counters().net_recv_words.to_string(),
+            sci(2.0 * (n * n) as f64 / q),
+        ],
+        vec![
+            format!("2.5D (c={c}) measured"),
+            mc.max_counters().net_recv_words.to_string(),
+            sci(2.0 * (n * n) as f64 / ((p * c) as f64).sqrt()),
+        ],
+    ];
+    print_table(
+        &format!("Measured vs model leading network term: n={n} P={p}"),
+        &["run", "measured words", "model 2n²/√(Pc)"],
+        &rows,
+    );
+
+    // Model 2.2 pair.
+    let mut mo = Machine::new(p, cp);
+    let _ = mm25d(
+        &mut mo,
+        &a,
+        &b,
+        Mm25Config {
+            p,
+            c,
+            at: Staging::L3,
+            ool2: true,
+            m2,
+        },
+    );
+    let q2 = ((p / c) as f64).sqrt() as usize;
+    let mut ms = Machine::new(q2 * q2, cp);
+    let _ = summa_l3_ool2(&mut ms, &a, &b, q2, m2);
+    let rows = vec![
+        vec![
+            "2.5DMML3ooL2".into(),
+            mo.max_counters().net_recv_words.to_string(),
+            mo.max_counters().l3_write_words.to_string(),
+        ],
+        vec![
+            "SUMMAL3ooL2".into(),
+            ms.max_counters().net_recv_words.to_string(),
+            ms.max_counters().l3_write_words.to_string(),
+        ],
+    ];
+    print_table(
+        "Model 2.2 measured trade-off (per-node words)",
+        &["algorithm", "network recv", "NVM writes"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printing_does_not_panic_and_models_are_consistent() {
+        let cp = CostParams::nvm_cluster();
+        table1(1e5, 4096.0, 4.0, 16.0, &cp);
+        table2(1e6, 65536.0, 8.0, &cp);
+        measured_comparison(32, 64, 4, 48);
+    }
+}

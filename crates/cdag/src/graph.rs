@@ -1,0 +1,128 @@
+//! Dynamic CDAG recorder.
+//!
+//! Algorithms run symbolically against this recorder: every input is a
+//! vertex, every binary (or n-ary) operation creates a new vertex with
+//! edges from its operands — including the paper's convention that an
+//! update `x = x + w` creates a *new* vertex `x₂` depending on `x₁` and
+//! `w`. Out-degrees are therefore measured from an actual execution.
+
+/// Vertex handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(pub u32);
+
+/// A recorded computation DAG (only the degree structure is retained;
+/// that is all Theorem 2 needs).
+#[derive(Clone, Debug, Default)]
+pub struct Cdag {
+    out_deg: Vec<u32>,
+    is_input: Vec<bool>,
+}
+
+impl Cdag {
+    pub fn new() -> Self {
+        Cdag::default()
+    }
+
+    /// Register an input vertex (no in-edges).
+    pub fn input(&mut self) -> NodeId {
+        self.out_deg.push(0);
+        self.is_input.push(true);
+        NodeId(self.out_deg.len() as u32 - 1)
+    }
+
+    /// Register a computed vertex depending on `deps`; each dependency's
+    /// out-degree increments.
+    pub fn op(&mut self, deps: &[NodeId]) -> NodeId {
+        for d in deps {
+            self.out_deg[d.0 as usize] += 1;
+        }
+        self.out_deg.push(0);
+        self.is_input.push(false);
+        NodeId(self.out_deg.len() as u32 - 1)
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.out_deg.len()
+    }
+
+    pub fn num_inputs(&self) -> usize {
+        self.is_input.iter().filter(|&&b| b).count()
+    }
+
+    pub fn out_degree(&self, n: NodeId) -> u32 {
+        self.out_deg[n.0 as usize]
+    }
+
+    /// Maximum out-degree over non-input vertices — the `d` of Theorem 2
+    /// applied with `G' = G` minus inputs.
+    pub fn max_out_degree_non_input(&self) -> u32 {
+        self.out_deg
+            .iter()
+            .zip(&self.is_input)
+            .filter(|(_, &inp)| !inp)
+            .map(|(&d, _)| d)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum out-degree over all vertices (inputs included).
+    pub fn max_out_degree(&self) -> u32 {
+        self.out_deg.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum out-degree over an arbitrary vertex subset (e.g. Strassen's
+    /// `DecC` subgraph).
+    pub fn max_out_degree_of(&self, nodes: impl IntoIterator<Item = NodeId>) -> u32 {
+        nodes
+            .into_iter()
+            .map(|n| self.out_deg[n.0 as usize])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x_update_splits_into_versions() {
+        // x = y + z; x = x + w  (paper's example: 5 vertices, 4 edges)
+        let mut g = Cdag::new();
+        let y = g.input();
+        let z = g.input();
+        let w = g.input();
+        let x1 = g.op(&[y, z]);
+        let _x2 = g.op(&[x1, w]);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_inputs(), 3);
+        assert_eq!(g.out_degree(x1), 1);
+        assert_eq!(g.max_out_degree_non_input(), 1);
+    }
+
+    #[test]
+    fn fanout_counted() {
+        let mut g = Cdag::new();
+        let a = g.input();
+        let t = g.op(&[a]);
+        for _ in 0..5 {
+            g.op(&[t]);
+        }
+        assert_eq!(g.out_degree(t), 5);
+        assert_eq!(g.max_out_degree_non_input(), 5);
+        assert_eq!(g.out_degree(a), 1);
+    }
+
+    #[test]
+    fn subset_degree() {
+        let mut g = Cdag::new();
+        let a = g.input();
+        let b = g.op(&[a]);
+        let c = g.op(&[a]);
+        let _ = g.op(&[b, c]);
+        let _ = g.op(&[b]);
+        assert_eq!(g.max_out_degree_of([c]), 1);
+        assert_eq!(g.max_out_degree_of([b, c]), 2);
+        assert_eq!(g.max_out_degree(), 2);
+    }
+}

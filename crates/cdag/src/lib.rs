@@ -1,0 +1,28 @@
+//! # cdag — computation DAGs and the "bounded reuse precludes WA" results
+//!
+//! Section 3 of the paper proves (Theorem 2) that if every non-input vertex
+//! of an algorithm's computation DAG has out-degree at most `d`, the number
+//! of writes to slow memory is Ω(W/d) — a write-avoiding reordering cannot
+//! exist. The two flagship instances are the Cooley–Tukey FFT (d = 2,
+//! Corollary 2) and Strassen's matmul (d = 4 on the `DecC` subgraph,
+//! Corollary 3).
+//!
+//! This crate provides:
+//!
+//! * [`graph`] — a dynamic CDAG recorder: algorithms executed symbolically
+//!   build their real dependency DAG, from which out-degrees (and hence
+//!   applicability of Theorem 2) are *measured*, not assumed;
+//! * [`fft`] — a real in-place iterative radix-2 Cooley–Tukey FFT over
+//!   [`memsim::Mem`] (numerically verified against a direct DFT) plus its
+//!   symbolic CDAG builder;
+//! * [`strassen`] — a real recursive Strassen matmul over `Mem` (verified
+//!   against classical matmul) plus its symbolic CDAG builder and the
+//!   `DecC` out-degree measurement.
+
+pub mod fft;
+pub mod graph;
+pub mod strassen;
+
+pub use fft::{dft_reference, fft_mem, fft_symbolic, Complex};
+pub use graph::{Cdag, NodeId};
+pub use strassen::{strassen_mem, strassen_scratch_words, strassen_symbolic};

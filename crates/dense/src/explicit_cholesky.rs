@@ -1,0 +1,292 @@
+//! Algorithm 3 — explicitly blocked Cholesky `A = L·Lᵀ` with exact
+//! load/store accounting.
+//!
+//! The paper's *left-looking* order (Algorithm 3) computes each block
+//! column of `L` by reading already-finished columns to its left, storing
+//! each output block exactly once: ≈ `n²/2` writes to slow memory. The
+//! *right-looking* order updates the whole Schur complement after each
+//! panel, storing `Θ(n³/(6b))` words — asymptotically more (§4.3).
+
+use memsim::ExplicitHier;
+use wa_core::Mat;
+
+/// `A[d, d] -= A[d, kcols] · A[d, kcols]ᵀ`, lower half only (SYRK).
+fn syrk_sub_lower(a: &mut Mat, (d0, d1): (usize, usize), (k0, k1): (usize, usize)) {
+    for i in d0..d1 {
+        for j in d0..=i {
+            let mut acc = a[(i, j)];
+            for k in k0..k1 {
+                acc -= a[(i, k)] * a[(j, k)];
+            }
+            a[(i, j)] = acc;
+        }
+    }
+}
+
+/// `A[rrange, crange] -= A[rrange, k] · A[crange, k]ᵀ`.
+fn mm_sub_bt_range(
+    a: &mut Mat,
+    (r0, r1): (usize, usize),
+    (c0, c1): (usize, usize),
+    (k0, k1): (usize, usize),
+) {
+    for i in r0..r1 {
+        for j in c0..c1 {
+            let mut acc = a[(i, j)];
+            for k in k0..k1 {
+                acc -= a[(i, k)] * a[(j, k)];
+            }
+            a[(i, j)] = acc;
+        }
+    }
+}
+
+/// Unblocked in-place Cholesky of the diagonal block `A[d0..d1, d0..d1]`
+/// (lower triangle).
+fn chol_in_place(a: &mut Mat, (d0, d1): (usize, usize)) {
+    for j in d0..d1 {
+        let mut djj = a[(j, j)];
+        for k in d0..j {
+            djj -= a[(j, k)] * a[(j, k)];
+        }
+        assert!(djj > 0.0, "matrix not positive definite at {j}");
+        let ljj = djj.sqrt();
+        a[(j, j)] = ljj;
+        for i in j + 1..d1 {
+            let mut v = a[(i, j)];
+            for k in d0..j {
+                v -= a[(i, k)] * a[(j, k)];
+            }
+            a[(i, j)] = v / ljj;
+        }
+    }
+}
+
+/// Solve `X · L[d,d]ᵀ = A[rrange, d]` in place (forward substitution over
+/// columns), where `L` is the already-factored lower-triangular diagonal
+/// block stored in `A[d, d]`.
+fn trsm_right_lt(a: &mut Mat, (r0, r1): (usize, usize), (d0, d1): (usize, usize)) {
+    for i in r0..r1 {
+        for c in d0..d1 {
+            let mut acc = a[(i, c)];
+            for t in d0..c {
+                acc -= a[(i, t)] * a[(c, t)];
+            }
+            a[(i, c)] = acc / a[(c, c)];
+        }
+    }
+}
+
+fn tri_words(b: usize) -> u64 {
+    (b * (b + 1) / 2) as u64
+}
+
+/// Left-looking WA blocked Cholesky (Algorithm 3). `a` is overwritten with
+/// `L` in its lower triangle. Requires `n` divisible by the block size for
+/// the exact-count tests; clipped blocks are handled.
+pub fn explicit_cholesky_ll(a: &mut Mat, hier: &mut ExplicitHier) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    let bs = crate::explicit_mm::block_for(hier.capacity(1));
+    let nb = n.div_ceil(bs);
+    let w = |blk: usize| bs.min(n - blk * bs);
+
+    for i in 0..nb {
+        let ci = w(i);
+        let di = (i * bs, i * bs + ci);
+        hier.load(0, tri_words(ci)); // A(i,i) lower half
+        for k in 0..i {
+            let ck = w(k);
+            hier.load(0, (ci * ck) as u64); // A(i,k)
+            syrk_sub_lower(a, di, (k * bs, k * bs + ck));
+            hier.flop((ci * ci * ck) as u64);
+            hier.free(1, (ci * ck) as u64);
+        }
+        chol_in_place(a, di);
+        hier.flop((ci * ci * ci) as u64 / 3);
+        hier.store(0, tri_words(ci)); // L(i,i)
+        hier.free(1, tri_words(ci));
+
+        for j in i + 1..nb {
+            let cj = w(j);
+            let rj = (j * bs, j * bs + cj);
+            hier.load(0, (cj * ci) as u64); // A(j,i)
+            for k in 0..i {
+                let ck = w(k);
+                hier.load(0, (ci * ck) as u64); // A(i,k)
+                hier.load(0, (cj * ck) as u64); // A(j,k)
+                mm_sub_bt_range(a, rj, di, (k * bs, k * bs + ck));
+                hier.flop(2 * (cj * ci * ck) as u64);
+                hier.free(1, ((ci + cj) * ck) as u64);
+            }
+            hier.load(0, tri_words(ci)); // L(i,i) lower half
+            trsm_right_lt(a, rj, di);
+            hier.flop((cj * ci * ci) as u64);
+            hier.free(1, tri_words(ci));
+            hier.store(0, (cj * ci) as u64); // L(j,i)
+            hier.free(1, (cj * ci) as u64);
+        }
+    }
+}
+
+/// Right-looking (non-WA) blocked Cholesky: each panel eagerly updates the
+/// trailing Schur complement, rewriting it to slow memory every step.
+pub fn explicit_cholesky_rl(a: &mut Mat, hier: &mut ExplicitHier) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    let bs = crate::explicit_mm::block_for(hier.capacity(1));
+    let nb = n.div_ceil(bs);
+    let w = |blk: usize| bs.min(n - blk * bs);
+
+    for i in 0..nb {
+        let ci = w(i);
+        let di = (i * bs, i * bs + ci);
+        hier.load(0, tri_words(ci));
+        chol_in_place(a, di);
+        hier.flop((ci * ci * ci) as u64 / 3);
+        hier.store(0, tri_words(ci));
+
+        // Panel: L(j,i) = A(j,i) * L(i,i)^-T.
+        for j in i + 1..nb {
+            let cj = w(j);
+            hier.load(0, (cj * ci) as u64); // A(j,i)
+            trsm_right_lt(a, (j * bs, j * bs + cj), di);
+            hier.flop((cj * ci * ci) as u64);
+            hier.store(0, (cj * ci) as u64);
+            hier.free(1, (cj * ci) as u64);
+        }
+        hier.free(1, tri_words(ci));
+
+        // Trailing update: A(j,k) -= L(j,i) L(k,i)^T for i < k <= j.
+        for j in i + 1..nb {
+            let cj = w(j);
+            for k in i + 1..=j {
+                let ck = w(k);
+                hier.load(0, (cj * ci) as u64); // L(j,i)
+                hier.load(0, (ck * ci) as u64); // L(k,i)
+                let words = if j == k { tri_words(cj) } else { (cj * ck) as u64 };
+                hier.load(0, words); // A(j,k)
+                if j == k {
+                    syrk_sub_lower(a, (j * bs, j * bs + cj), di);
+                } else {
+                    mm_sub_bt_range(
+                        a,
+                        (j * bs, j * bs + cj),
+                        (k * bs, k * bs + ck),
+                        di,
+                    );
+                }
+                hier.flop(2 * (cj * ck * ci) as u64);
+                hier.store(0, words); // eagerly written back
+                hier.free(1, (cj * ci + ck * ci) as u64 + words);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::ExplicitHier;
+
+    fn check_factor(a0: &Mat, l: &Mat) {
+        let n = a0.rows();
+        let ll = l.lower_triangular();
+        let prod = ll.matmul_ref(&ll.transpose());
+        for i in 0..n {
+            for j in 0..=i {
+                assert!(
+                    (prod[(i, j)] - a0[(i, j)]).abs() < 1e-8 * a0[(i, i)].abs().max(1.0),
+                    "({i},{j}): {} vs {}",
+                    prod[(i, j)],
+                    a0[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn left_looking_factors_correctly() {
+        let a0 = Mat::random_spd(16, 3);
+        let mut a = a0.clone();
+        let mut h = ExplicitHier::two_level(48);
+        explicit_cholesky_ll(&mut a, &mut h);
+        check_factor(&a0, &a);
+    }
+
+    #[test]
+    fn right_looking_factors_correctly() {
+        let a0 = Mat::random_spd(16, 4);
+        let mut a = a0.clone();
+        let mut h = ExplicitHier::two_level(48);
+        explicit_cholesky_rl(&mut a, &mut h);
+        check_factor(&a0, &a);
+    }
+
+    #[test]
+    fn both_orders_agree() {
+        let a0 = Mat::random_spd(20, 5);
+        let mut a1 = a0.clone();
+        let mut a2 = a0.clone();
+        let mut h1 = ExplicitHier::two_level(48);
+        let mut h2 = ExplicitHier::two_level(48);
+        explicit_cholesky_ll(&mut a1, &mut h1);
+        explicit_cholesky_rl(&mut a2, &mut h2);
+        let l1 = a1.lower_triangular();
+        let l2 = a2.lower_triangular();
+        assert!(l1.max_abs_diff(&l2) < 1e-8);
+    }
+
+    #[test]
+    fn ll_stores_about_half_n_squared() {
+        let n = 16;
+        let a0 = Mat::random_spd(n, 6);
+        let mut a = a0.clone();
+        let mut h = ExplicitHier::two_level(48);
+        explicit_cholesky_ll(&mut a, &mut h);
+        let bs = 4u64;
+        let nb = n as u64 / bs;
+        // stores = nb * tri(b) + b² * nb(nb-1)/2 (the exact lower triangle
+        // of the output, block by block).
+        let expected = nb * tri_words(bs as usize) + bs * bs * nb * (nb - 1) / 2;
+        assert_eq!(h.traffic().boundary(0).store_words, expected);
+    }
+
+    #[test]
+    fn rl_stores_asymptotically_more_than_ll() {
+        let n = 32;
+        let a0 = Mat::random_spd(n, 7);
+        let mut a1 = a0.clone();
+        let mut a2 = a0.clone();
+        let mut h_ll = ExplicitHier::two_level(48);
+        let mut h_rl = ExplicitHier::two_level(48);
+        explicit_cholesky_ll(&mut a1, &mut h_ll);
+        explicit_cholesky_rl(&mut a2, &mut h_rl);
+        let s_ll = h_ll.traffic().boundary(0).store_words;
+        let s_rl = h_rl.traffic().boundary(0).store_words;
+        assert!(
+            s_rl > 2 * s_ll,
+            "right-looking {s_rl} should far exceed left-looking {s_ll}"
+        );
+    }
+
+    #[test]
+    fn capacity_and_theorem1() {
+        let a0 = Mat::random_spd(24, 8);
+        let mut a = a0.clone();
+        let mut h = ExplicitHier::two_level(48);
+        explicit_cholesky_ll(&mut a, &mut h);
+        assert!(h.peak(1) <= 48);
+        let (wf, total) = h.theorem1_check(0);
+        assert!(2 * wf >= total);
+    }
+
+    #[test]
+    fn uneven_block_boundary_still_correct() {
+        let a0 = Mat::random_spd(18, 9); // 18 = 4*4 + 2
+        let mut a = a0.clone();
+        let mut h = ExplicitHier::two_level(48);
+        explicit_cholesky_ll(&mut a, &mut h);
+        check_factor(&a0, &a);
+    }
+}

@@ -1,0 +1,322 @@
+//! Algorithm 2 — explicitly blocked triangular solve (TRSM) with exact
+//! load/store accounting.
+//!
+//! Solves `T·X = B` for upper-triangular `T`, X overwriting B, by
+//! successive substitution over `b×b` blocks with `b = √(M/3)`. The paper's
+//! WA order keeps each `B(i,j)` block resident across its whole update
+//! sweep (`k` innermost), storing it exactly once: `n·nrhs` writes to slow
+//! memory. The right-looking variant pushes updates eagerly and stores
+//! `Θ(n²·nrhs/b)` words.
+
+use memsim::ExplicitHier;
+use wa_core::Mat;
+
+/// `B[bi, j] -= T[bi, bk] * X[bk, j]` over index ranges (X stored in B).
+fn update_range(
+    t: &Mat,
+    b: &mut Mat,
+    (i0, i1): (usize, usize),
+    (k0, k1): (usize, usize),
+    (j0, j1): (usize, usize),
+) {
+    for i in i0..i1 {
+        for j in j0..j1 {
+            let mut acc = b[(i, j)];
+            for k in k0..k1 {
+                acc -= t[(i, k)] * b[(k, j)];
+            }
+            b[(i, j)] = acc;
+        }
+    }
+}
+
+/// Solve the diagonal block system `T[d0..d1, d0..d1] · X = B[d0..d1, j0..j1]`
+/// in place by back substitution.
+fn solve_diag_range(t: &Mat, b: &mut Mat, (d0, d1): (usize, usize), (j0, j1): (usize, usize)) {
+    for i in (d0..d1).rev() {
+        for j in j0..j1 {
+            let mut acc = b[(i, j)];
+            for k in i + 1..d1 {
+                acc -= t[(i, k)] * b[(k, j)];
+            }
+            b[(i, j)] = acc / t[(i, i)];
+        }
+    }
+}
+
+/// Words in the triangular half (with diagonal) of a `b×b` block.
+fn tri_words(b: usize) -> u64 {
+    (b * (b + 1) / 2) as u64
+}
+
+/// Two-level WA TRSM (Algorithm 2): `T` is `n×n` upper triangular, `B` is
+/// `n×nrhs`; X overwrites B. Stores to slow memory = `n·nrhs` exactly.
+pub fn explicit_trsm_wa(t: &Mat, b: &mut Mat, hier: &mut ExplicitHier) {
+    let n = t.rows();
+    assert_eq!(t.cols(), n);
+    assert_eq!(b.rows(), n);
+    let nrhs = b.cols();
+    let bs = crate::explicit_mm::block_for(hier.capacity(1));
+    let nb = n.div_ceil(bs);
+    let njb = nrhs.div_ceil(bs);
+    let w = |blk: usize, lim: usize| bs.min(lim - blk * bs);
+
+    for j in 0..njb {
+        let cj = w(j, nrhs);
+        for i in (0..nb).rev() {
+            let ci = w(i, n);
+            hier.load(0, (ci * cj) as u64); // B(i,j)
+            for k in i + 1..nb {
+                let ck = w(k, n);
+                hier.load(0, (ci * ck) as u64); // T(i,k)
+                hier.load(0, (ck * cj) as u64); // X(k,j)
+                update_range(
+                    t,
+                    b,
+                    (i * bs, i * bs + ci),
+                    (k * bs, k * bs + ck),
+                    (j * bs, j * bs + cj),
+                );
+                hier.flop(2 * (ci * ck * cj) as u64);
+                hier.free(1, (ci * ck + ck * cj) as u64);
+            }
+            hier.load(0, tri_words(ci)); // T(i,i), triangular half
+            solve_diag_range(t, b, (i * bs, i * bs + ci), (j * bs, j * bs + cj));
+            hier.flop((ci * ci * cj) as u64);
+            hier.free(1, tri_words(ci));
+            hier.store(0, (ci * cj) as u64); // X(i,j)
+            hier.free(1, (ci * cj) as u64);
+        }
+    }
+}
+
+/// Right-looking (non-WA) TRSM: after each diagonal solve, eagerly update
+/// every block above it, loading and storing each `B(k,j)` per step.
+pub fn explicit_trsm_rl(t: &Mat, b: &mut Mat, hier: &mut ExplicitHier) {
+    let n = t.rows();
+    assert_eq!(t.cols(), n);
+    assert_eq!(b.rows(), n);
+    let nrhs = b.cols();
+    let bs = crate::explicit_mm::block_for(hier.capacity(1));
+    let nb = n.div_ceil(bs);
+    let njb = nrhs.div_ceil(bs);
+    let w = |blk: usize, lim: usize| bs.min(lim - blk * bs);
+
+    for j in 0..njb {
+        let cj = w(j, nrhs);
+        for i in (0..nb).rev() {
+            let ci = w(i, n);
+            // Solve the diagonal system for X(i,j).
+            hier.load(0, (ci * cj) as u64); // B(i,j)
+            hier.load(0, tri_words(ci)); // T(i,i)
+            solve_diag_range(t, b, (i * bs, i * bs + ci), (j * bs, j * bs + cj));
+            hier.flop((ci * ci * cj) as u64);
+            hier.free(1, tri_words(ci));
+            hier.store(0, (ci * cj) as u64); // X(i,j) written back...
+            // ...but kept resident for the updates below.
+            // Eagerly update all blocks above i in this block column.
+            for k in 0..i {
+                let ck = w(k, n);
+                hier.load(0, (ck * ci) as u64); // T(k,i)
+                hier.load(0, (ck * cj) as u64); // B(k,j)
+                update_range(
+                    t,
+                    b,
+                    (k * bs, k * bs + ck),
+                    (i * bs, i * bs + ci),
+                    (j * bs, j * bs + cj),
+                );
+                hier.flop(2 * (ck * ci * cj) as u64);
+                hier.store(0, (ck * cj) as u64); // partial update written back
+                hier.free(1, (ck * ci + ck * cj) as u64);
+            }
+            hier.free(1, (ci * cj) as u64);
+        }
+    }
+}
+
+/// Multi-level WA TRSM (§4.2's induction): at each level `s` the problem
+/// re-blocks at `b_s = √(M_s/3)`; block updates become multi-level
+/// matmuls ([`crate::explicit_mm`]) and diagonal solves recurse. Data
+/// starts in the backing store `L_r`.
+pub fn explicit_trsm_multilevel(t: &Mat, b: &mut Mat, hier: &mut ExplicitHier) {
+    let n = t.rows();
+    assert_eq!(t.cols(), n);
+    assert_eq!(b.rows(), n);
+    let r = hier.num_levels();
+    rec_trsm(t, b, hier, r, (0, n), (0, b.cols()));
+}
+
+/// Solve the sub-problem `T[dr, dr] · X[dr, jr] = B[dr, jr]` with the
+/// operands resident in level `lvl` (1-indexed; `num_levels` = backing
+/// store).
+fn rec_trsm(
+    t: &Mat,
+    b: &mut Mat,
+    hier: &mut ExplicitHier,
+    lvl: usize,
+    dr: (usize, usize),
+    jr: (usize, usize),
+) {
+    if lvl == 1 {
+        solve_diag_range(t, b, dr, jr);
+        let nn = (dr.1 - dr.0) as u64;
+        hier.flop(nn * nn * (jr.1 - jr.0) as u64);
+        return;
+    }
+    let dest = lvl - 1;
+    let bnd = dest - 1;
+    let bs = crate::explicit_mm::block_for(hier.capacity(dest));
+    let (d0, d1) = dr;
+    let (j0, j1) = jr;
+    let nb = (d1 - d0).div_ceil(bs);
+    let w = |blk: usize, lo: usize, hi: usize| bs.min(hi - (lo + blk * bs));
+
+    let mut j = j0;
+    while j < j1 {
+        let cj = bs.min(j1 - j);
+        for i in (0..nb).rev() {
+            let ci = w(i, d0, d1);
+            let ib = d0 + i * bs;
+            hier.load(bnd, (ci * cj) as u64); // B(i,j)
+            for k in i + 1..nb {
+                let ck = w(k, d0, d1);
+                let kb = d0 + k * bs;
+                hier.load(bnd, (ci * ck) as u64); // T(i,k)
+                hier.load(bnd, (ck * cj) as u64); // X(k,j)
+                // Multi-level update: recurse through the remaining levels
+                // as a matmul-shaped kernel (here performed directly; the
+                // per-level re-blocking of the matmul is exercised by
+                // explicit_mm_multilevel and charged at this boundary).
+                update_range(t, b, (ib, ib + ci), (kb, kb + ck), (j, j + cj));
+                hier.flop(2 * (ci * ck * cj) as u64);
+                hier.free(dest, (ci * ck + ck * cj) as u64);
+            }
+            hier.load(bnd, tri_words(ci)); // T(i,i)
+            rec_trsm(t, b, hier, dest, (ib, ib + ci), (j, j + cj));
+            hier.free(dest, tri_words(ci));
+            hier.store(bnd, (ci * cj) as u64); // X(i,j)
+            hier.free(dest, (ci * cj) as u64);
+        }
+        j += cj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::ExplicitHier;
+
+    fn setup(n: usize, nrhs: usize) -> (Mat, Mat, Mat) {
+        let t = Mat::random_upper_triangular(n, 7);
+        let x_true = Mat::random(n, nrhs, 8);
+        let b = t.matmul_ref(&x_true);
+        (t, b, x_true)
+    }
+
+    #[test]
+    fn wa_trsm_solves_correctly() {
+        let (t, mut b, x_true) = setup(12, 12);
+        let mut h = ExplicitHier::two_level(48);
+        explicit_trsm_wa(&t, &mut b, &mut h);
+        assert!(b.max_abs_diff(&x_true) < 1e-9, "{}", b.max_abs_diff(&x_true));
+    }
+
+    #[test]
+    fn rl_trsm_solves_correctly() {
+        let (t, mut b, x_true) = setup(12, 8);
+        let mut h = ExplicitHier::two_level(48);
+        explicit_trsm_rl(&t, &mut b, &mut h);
+        assert!(b.max_abs_diff(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn wa_trsm_stores_exactly_output_size() {
+        let (n, nrhs) = (16, 16);
+        let (t, mut b, _) = setup(n, nrhs);
+        let mut h = ExplicitHier::two_level(48);
+        explicit_trsm_wa(&t, &mut b, &mut h);
+        assert_eq!(h.traffic().boundary(0).store_words, (n * nrhs) as u64);
+    }
+
+    #[test]
+    fn wa_trsm_load_count_matches_formula() {
+        // Divisible case: n = nrhs = 16, b = 4, nb = 4.
+        let (n, nrhs) = (16usize, 16usize);
+        let (t, mut b, _) = setup(n, nrhs);
+        let mut h = ExplicitHier::two_level(48);
+        explicit_trsm_wa(&t, &mut b, &mut h);
+        let bs = 4u64;
+        let nb = (n as u64) / bs;
+        // loads = Σ_j Σ_i [ b² + (nb-1-i)·2b² + b(b+1)/2 ]
+        let expected: u64 = (0..nb)
+            .flat_map(|_| (0..nb).map(|i| bs * bs + (nb - 1 - i) * 2 * bs * bs + bs * (bs + 1) / 2))
+            .sum();
+        assert_eq!(h.traffic().boundary(0).load_words, expected);
+    }
+
+    #[test]
+    fn rl_stores_asymptotically_more() {
+        let (n, nrhs) = (24, 24);
+        let (t, b0, _) = setup(n, nrhs);
+        let mut b1 = b0.clone();
+        let mut b2 = b0.clone();
+        let mut h_wa = ExplicitHier::two_level(48);
+        let mut h_rl = ExplicitHier::two_level(48);
+        explicit_trsm_wa(&t, &mut b1, &mut h_wa);
+        explicit_trsm_rl(&t, &mut b2, &mut h_rl);
+        assert!(b1.max_abs_diff(&b2) < 1e-8);
+        let s_wa = h_wa.traffic().boundary(0).store_words;
+        let s_rl = h_rl.traffic().boundary(0).store_words;
+        // RL stores ~ .5 (n/b)³ b² + n², WA stores n²: ratio ~ (n/b)/2 + 1.
+        assert!(
+            s_rl as f64 / s_wa as f64 > (n / 4) as f64 / 2.0,
+            "ratio {} too small",
+            s_rl as f64 / s_wa as f64
+        );
+    }
+
+    #[test]
+    fn theorem1_and_capacity_respected() {
+        let (t, mut b, _) = setup(20, 12);
+        let mut h = ExplicitHier::two_level(48);
+        explicit_trsm_wa(&t, &mut b, &mut h);
+        let (wf, total) = h.theorem1_check(0);
+        assert!(2 * wf >= total);
+        assert!(h.peak(1) <= 48);
+    }
+
+    #[test]
+    fn multilevel_trsm_solves_and_is_wa_at_the_bottom() {
+        let (n, nrhs) = (16, 16);
+        let (t, mut b, x_true) = setup(n, nrhs);
+        let mut h = ExplicitHier::new(&[12, 48, u64::MAX]);
+        explicit_trsm_multilevel(&t, &mut b, &mut h);
+        assert!(b.max_abs_diff(&x_true) < 1e-8, "{}", b.max_abs_diff(&x_true));
+        // Writes to the backing store = exactly the output.
+        assert_eq!(h.traffic().boundary(1).store_words, (n * nrhs) as u64);
+        // Writes decrease monotonically toward the bottom.
+        let w2 = h.writes_into_level(2);
+        let w3 = h.writes_into_level(3);
+        assert!(w2 > w3, "L2 writes {w2} vs L3 {w3}");
+        // Capacities hold at both enforced levels.
+        assert!(h.peak(1) <= 12);
+        assert!(h.peak(2) <= 48);
+        for bnd in 0..2 {
+            let (wf, tot) = h.theorem1_check(bnd);
+            assert!(2 * wf >= tot, "Theorem 1 at boundary {bnd}");
+        }
+    }
+
+    #[test]
+    fn multilevel_matches_two_level_numerics() {
+        let (t, b0, _) = setup(16, 8);
+        let mut b1 = b0.clone();
+        let mut b2 = b0.clone();
+        let mut h1 = ExplicitHier::two_level(48);
+        let mut h2 = ExplicitHier::new(&[12, 48, u64::MAX]);
+        explicit_trsm_wa(&t, &mut b1, &mut h1);
+        explicit_trsm_multilevel(&t, &mut b2, &mut h2);
+        assert!(b1.max_abs_diff(&b2) < 1e-9);
+    }
+}

@@ -1,0 +1,197 @@
+//! Access-driven blocked LU factorization without pivoting.
+//!
+//! Used as the sequential substrate for Section 7.2 (parallel LL-LUNP /
+//! RL-LUNP): the left-looking order is write-avoiding, the right-looking
+//! order (CALU-style without pivoting) is not. `A = L·U` with unit-diagonal
+//! `L` stored below the diagonal and `U` on/above it.
+
+use crate::desc::MatDesc;
+use crate::matmul::kernel::mm_kernel_sub;
+use memsim::Mem;
+
+/// Block order for the factorization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LuVariant {
+    /// Write-avoiding left-looking order.
+    LeftLooking,
+    /// Right-looking (eager trailing update).
+    RightLooking,
+}
+
+/// Unblocked in-place LU (no pivoting) of a diagonal block.
+fn lu_base<M: Mem>(mem: &mut M, a: MatDesc) {
+    debug_assert_eq!(a.rows, a.cols);
+    for k in 0..a.rows {
+        let akk = mem.ld(a.idx(k, k));
+        assert!(akk.abs() > 1e-300, "zero pivot without pivoting");
+        for i in k + 1..a.rows {
+            let lik = mem.ld(a.idx(i, k)) / akk;
+            mem.st(a.idx(i, k), lik);
+            for j in k + 1..a.cols {
+                let v = mem.ld(a.idx(i, j)) - lik * mem.ld(a.idx(k, j));
+                mem.st(a.idx(i, j), v);
+            }
+        }
+    }
+}
+
+/// Solve `L·X = B` in place (unit lower-triangular L from a factored
+/// diagonal block): forward substitution. Produces a `U` block.
+fn trsm_lower_unit<M: Mem>(mem: &mut M, l: MatDesc, b: MatDesc) {
+    debug_assert_eq!(l.rows, l.cols);
+    debug_assert_eq!(b.rows, l.rows);
+    for j in 0..b.cols {
+        for i in 0..b.rows {
+            let mut acc = mem.ld(b.idx(i, j));
+            for k in 0..i {
+                acc -= mem.ld(l.idx(i, k)) * mem.ld(b.idx(k, j));
+            }
+            mem.st(b.idx(i, j), acc);
+        }
+    }
+}
+
+/// Solve `X·U = B` in place (upper-triangular U from a factored diagonal
+/// block). Produces an `L` block.
+fn trsm_upper_right<M: Mem>(mem: &mut M, u: MatDesc, b: MatDesc) {
+    debug_assert_eq!(u.rows, u.cols);
+    debug_assert_eq!(b.cols, u.rows);
+    for i in 0..b.rows {
+        for c in 0..u.cols {
+            let mut acc = mem.ld(b.idx(i, c));
+            for t in 0..c {
+                acc -= mem.ld(b.idx(i, t)) * mem.ld(u.idx(t, c));
+            }
+            let ucc = mem.ld(u.idx(c, c));
+            mem.st(b.idx(i, c), acc / ucc);
+        }
+    }
+}
+
+/// Blocked LU without pivoting; `a` is overwritten by `L\U`.
+pub fn blocked_lu<M: Mem>(mem: &mut M, a: MatDesc, bsize: usize, variant: LuVariant) {
+    assert_eq!(a.rows, a.cols);
+    let nb = a.nblocks_rows(bsize);
+    match variant {
+        LuVariant::LeftLooking => {
+            for i in 0..nb {
+                // Update block column i using columns to its left,
+                // top-down so each U(k,i) is finalized (by its TRSM)
+                // before rows below consume it.
+                for j in 0..nb {
+                    for k in 0..j.min(i) {
+                        mm_kernel_sub(
+                            mem,
+                            a.block(j, k, bsize),
+                            a.block(k, i, bsize),
+                            a.block(j, i, bsize),
+                        );
+                    }
+                    if j < i {
+                        trsm_lower_unit(mem, a.block(j, j, bsize), a.block(j, i, bsize));
+                    }
+                }
+                lu_base(mem, a.block(i, i, bsize));
+                for j in i + 1..nb {
+                    trsm_upper_right(mem, a.block(i, i, bsize), a.block(j, i, bsize));
+                }
+            }
+        }
+        LuVariant::RightLooking => {
+            for i in 0..nb {
+                lu_base(mem, a.block(i, i, bsize));
+                for j in i + 1..nb {
+                    trsm_upper_right(mem, a.block(i, i, bsize), a.block(j, i, bsize));
+                    trsm_lower_unit(mem, a.block(i, i, bsize), a.block(i, j, bsize));
+                }
+                for j in i + 1..nb {
+                    for k in i + 1..nb {
+                        mm_kernel_sub(
+                            mem,
+                            a.block(j, i, bsize),
+                            a.block(i, k, bsize),
+                            a.block(j, k, bsize),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desc::alloc_layout;
+    use memsim::RawMem;
+    use wa_core::Mat;
+
+    fn diagonally_dominant(n: usize, seed: u64) -> Mat {
+        let mut a = Mat::random(n, n, seed);
+        for i in 0..n {
+            a[(i, i)] = a[(i, i)].abs() + n as f64;
+        }
+        a
+    }
+
+    fn reconstruct(lu: &Mat) -> Mat {
+        let n = lu.rows();
+        let l = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else if j < i {
+                lu[(i, j)]
+            } else {
+                0.0
+            }
+        });
+        let u = lu.upper_triangular();
+        l.matmul_ref(&u)
+    }
+
+    fn check(n: usize, bsize: usize, variant: LuVariant) {
+        let a0 = diagonally_dominant(n, 41);
+        let (d, words) = alloc_layout(&[(n, n)]);
+        let mut mem = RawMem::new(words);
+        d[0].store_mat(&mut mem, &a0);
+        blocked_lu(&mut mem, d[0], bsize, variant);
+        let lu = d[0].load_mat(&mut mem);
+        let back = reconstruct(&lu);
+        assert!(
+            back.max_abs_diff(&a0) < 1e-8 * n as f64,
+            "{variant:?} n{n} b{bsize}: {}",
+            back.max_abs_diff(&a0)
+        );
+    }
+
+    #[test]
+    fn right_looking_factors() {
+        check(8, 4, LuVariant::RightLooking);
+        check(16, 4, LuVariant::RightLooking);
+        check(13, 4, LuVariant::RightLooking);
+        check(16, 16, LuVariant::RightLooking);
+    }
+
+    #[test]
+    fn left_looking_factors() {
+        check(8, 4, LuVariant::LeftLooking);
+        check(16, 4, LuVariant::LeftLooking);
+        check(13, 4, LuVariant::LeftLooking);
+    }
+
+    #[test]
+    fn variants_agree() {
+        let n = 20;
+        let a0 = diagonally_dominant(n, 43);
+        let (d, words) = alloc_layout(&[(n, n)]);
+        let mut m1 = RawMem::new(words);
+        let mut m2 = RawMem::new(words);
+        d[0].store_mat(&mut m1, &a0);
+        d[0].store_mat(&mut m2, &a0);
+        blocked_lu(&mut m1, d[0], 4, LuVariant::LeftLooking);
+        blocked_lu(&mut m2, d[0], 4, LuVariant::RightLooking);
+        let g1 = d[0].load_mat(&mut m1);
+        let g2 = d[0].load_mat(&mut m2);
+        assert!(g1.max_abs_diff(&g2) < 1e-9);
+    }
+}

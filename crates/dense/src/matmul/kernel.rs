@@ -1,0 +1,119 @@
+//! The base micro-kernel shared by every blocked variant.
+
+use crate::desc::MatDesc;
+use memsim::Mem;
+
+/// `C += A·B` with a register accumulator: each `C(i,j)` is loaded once,
+/// accumulated over the whole `k` sweep, and stored once. This is the
+/// element-level analogue of the WA property — at the granularity below
+/// the innermost blocking level, `C` traffic is minimal.
+pub fn mm_kernel<M: Mem>(mem: &mut M, a: MatDesc, b: MatDesc, c: MatDesc) {
+    debug_assert_eq!(a.rows, c.rows);
+    debug_assert_eq!(b.cols, c.cols);
+    debug_assert_eq!(a.cols, b.rows);
+    for i in 0..c.rows {
+        for j in 0..c.cols {
+            let mut acc = mem.ld(c.idx(i, j));
+            for k in 0..a.cols {
+                acc += mem.ld(a.idx(i, k)) * mem.ld(b.idx(k, j));
+            }
+            mem.st(c.idx(i, j), acc);
+        }
+    }
+}
+
+/// `C -= A·B` (used by TRSM and Cholesky updates).
+pub fn mm_kernel_sub<M: Mem>(mem: &mut M, a: MatDesc, b: MatDesc, c: MatDesc) {
+    debug_assert_eq!(a.rows, c.rows);
+    debug_assert_eq!(b.cols, c.cols);
+    debug_assert_eq!(a.cols, b.rows);
+    for i in 0..c.rows {
+        for j in 0..c.cols {
+            let mut acc = mem.ld(c.idx(i, j));
+            for k in 0..a.cols {
+                acc -= mem.ld(a.idx(i, k)) * mem.ld(b.idx(k, j));
+            }
+            mem.st(c.idx(i, j), acc);
+        }
+    }
+}
+
+/// `C -= A·Bᵀ` (Cholesky's SYRK-like update reads the transpose in place).
+pub fn mm_kernel_sub_bt<M: Mem>(mem: &mut M, a: MatDesc, b: MatDesc, c: MatDesc) {
+    debug_assert_eq!(a.rows, c.rows);
+    debug_assert_eq!(b.rows, c.cols);
+    debug_assert_eq!(a.cols, b.cols);
+    for i in 0..c.rows {
+        for j in 0..c.cols {
+            let mut acc = mem.ld(c.idx(i, j));
+            for k in 0..a.cols {
+                acc -= mem.ld(a.idx(i, k)) * mem.ld(b.idx(j, k));
+            }
+            mem.st(c.idx(i, j), acc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desc::alloc_layout;
+    use memsim::{RawMem, TraceMem};
+    use wa_core::Mat;
+
+    #[test]
+    fn kernel_writes_each_c_element_exactly_once() {
+        let (d, words) = alloc_layout(&[(4, 4), (4, 4), (4, 4)]);
+        let mut mem = TraceMem::new(words);
+        let a = Mat::random(4, 4, 5);
+        let b = Mat::random(4, 4, 6);
+        d[0].store_mat(&mut mem, &a);
+        d[1].store_mat(&mut mem, &b);
+        mem.trace.clear();
+        mm_kernel(&mut mem, d[0], d[1], d[2]);
+        let writes = mem.trace.iter().filter(|x| x.is_write).count();
+        assert_eq!(writes, 16, "one store per C element");
+        let reads = mem.trace.iter().filter(|x| !x.is_write).count();
+        assert_eq!(reads, 16 + 2 * 64, "C once + A,B per iteration");
+    }
+
+    #[test]
+    fn sub_kernels_match_reference() {
+        let a = Mat::random(3, 5, 1);
+        let b = Mat::random(5, 4, 2);
+        let c0 = Mat::random(3, 4, 3);
+        let (d, words) = alloc_layout(&[(3, 5), (5, 4), (3, 4)]);
+        let mut mem = RawMem::new(words);
+        d[0].store_mat(&mut mem, &a);
+        d[1].store_mat(&mut mem, &b);
+        d[2].store_mat(&mut mem, &c0);
+        mm_kernel_sub(&mut mem, d[0], d[1], d[2]);
+        let got = d[2].load_mat(&mut mem);
+        let ab = a.matmul_ref(&b);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert!((got[(i, j)] - (c0[(i, j)] - ab[(i, j)])).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bt_kernel_matches_reference() {
+        let a = Mat::random(3, 5, 1);
+        let b = Mat::random(4, 5, 2); // use B^T: (5,4)
+        let c0 = Mat::random(3, 4, 3);
+        let (d, words) = alloc_layout(&[(3, 5), (4, 5), (3, 4)]);
+        let mut mem = RawMem::new(words);
+        d[0].store_mat(&mut mem, &a);
+        d[1].store_mat(&mut mem, &b);
+        d[2].store_mat(&mut mem, &c0);
+        mm_kernel_sub_bt(&mut mem, d[0], d[1], d[2]);
+        let got = d[2].load_mat(&mut mem);
+        let abt = a.matmul_ref(&b.transpose());
+        for i in 0..3 {
+            for j in 0..4 {
+                assert!((got[(i, j)] - (c0[(i, j)] - abt[(i, j)])).abs() < 1e-12);
+            }
+        }
+    }
+}

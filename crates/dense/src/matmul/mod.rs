@@ -1,0 +1,103 @@
+//! Classical matrix multiplication `C += A·B` in every instruction order
+//! the paper studies.
+//!
+//! | variant | paper artifact | write behaviour |
+//! |---------|----------------|-----------------|
+//! | [`naive`] | §4.1 remark | min writes, max reads (not CA) |
+//! | [`blocked`] | Algorithm 1 loop orders | WA iff `k` innermost |
+//! | [`cache_oblivious`] | Fig 2a baseline, Thm 3 | CA but provably not WA |
+//! | [`tuned`] | Fig 2b "MKL" stand-in | fast, write-oblivious |
+//! | [`multilevel`] | Fig 4a/4b codes, Fig 5 | multi-level WA vs slab order |
+//!
+//! All variants compute identical results (up to floating-point
+//! associativity) and are verified against [`wa_core::Mat::matmul_ref`].
+
+pub mod blocked;
+pub mod cache_oblivious;
+pub mod kernel;
+pub mod multilevel;
+pub mod naive;
+pub mod tuned;
+
+pub use blocked::{blocked_matmul, LoopOrder};
+pub use cache_oblivious::co_matmul;
+pub use kernel::mm_kernel;
+pub use multilevel::{ml_matmul, RecOrder};
+pub use naive::naive_matmul;
+pub use tuned::tuned_matmul;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desc::alloc_layout;
+    use memsim::RawMem;
+    use wa_core::Mat;
+
+    /// Run one variant on random inputs and compare to the reference.
+    fn check(f: impl Fn(&mut RawMem, crate::MatDesc, crate::MatDesc, crate::MatDesc)) {
+        for &(m, n, l) in &[(1usize, 1usize, 1usize), (4, 4, 4), (7, 5, 9), (16, 16, 16), (13, 17, 11)] {
+            let a = Mat::random(m, n, 1);
+            let b = Mat::random(n, l, 2);
+            let c0 = Mat::random(m, l, 3);
+            let (d, words) = alloc_layout(&[(m, n), (n, l), (m, l)]);
+            let mut mem = RawMem::new(words);
+            d[0].store_mat(&mut mem, &a);
+            d[1].store_mat(&mut mem, &b);
+            d[2].store_mat(&mut mem, &c0);
+            f(&mut mem, d[0], d[1], d[2]);
+            let want = {
+                let mut w = a.matmul_ref(&b);
+                for i in 0..m {
+                    for j in 0..l {
+                        w[(i, j)] += c0[(i, j)];
+                    }
+                }
+                w
+            };
+            let got = d[2].load_mat(&mut mem);
+            assert!(
+                got.max_abs_diff(&want) < 1e-10,
+                "mismatch at {m}x{n}x{l}: {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn naive_correct() {
+        check(naive_matmul);
+    }
+
+    #[test]
+    fn kernel_correct() {
+        check(mm_kernel);
+    }
+
+    #[test]
+    fn blocked_all_orders_correct() {
+        for order in LoopOrder::ALL {
+            check(|mem, a, b, c| blocked_matmul(mem, a, b, c, 3, order));
+            check(|mem, a, b, c| blocked_matmul(mem, a, b, c, 8, order));
+        }
+    }
+
+    #[test]
+    fn cache_oblivious_correct() {
+        check(|mem, a, b, c| co_matmul(mem, a, b, c, 16));
+        check(|mem, a, b, c| co_matmul(mem, a, b, c, 64));
+    }
+
+    #[test]
+    fn tuned_correct() {
+        check(|mem, a, b, c| tuned_matmul(mem, a, b, c, 6));
+    }
+
+    #[test]
+    fn multilevel_correct() {
+        for top in [RecOrder::COuter, RecOrder::AOuter] {
+            for rest in [RecOrder::COuter, RecOrder::AOuter] {
+                check(|mem, a, b, c| ml_matmul(mem, a, b, c, &[8, 3], top, rest));
+            }
+        }
+    }
+}

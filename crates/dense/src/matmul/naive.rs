@@ -1,0 +1,62 @@
+//! Naive three-nested-loop matmul (dot-product innermost).
+//!
+//! The paper notes (§1) that this algorithm minimizes writes to slow memory
+//! — each `C(i,j)` is produced once by a full dot product — but maximizes
+//! reads of `A` and `B`, so it is write-minimal *without* being
+//! communication-avoiding. It serves as the "min writes, terrible reads"
+//! endpoint in the experiments.
+
+use crate::desc::MatDesc;
+use crate::matmul::kernel::mm_kernel;
+use memsim::Mem;
+
+/// `C += A·B` with no blocking at all.
+pub fn naive_matmul<M: Mem>(mem: &mut M, a: MatDesc, b: MatDesc, c: MatDesc) {
+    // The unblocked register-accumulator kernel *is* the naive algorithm.
+    mm_kernel(mem, a, b, c);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desc::alloc_layout;
+    use memsim::{CacheConfig, MemSim, Policy, SimMem};
+    use wa_core::Mat;
+
+    /// With a cache that holds one B column sweep (plus an A row and a C
+    /// line) but not a whole matrix, naive matmul writes back only ~C but
+    /// re-reads B for every row of A: write-minimal without being CA.
+    #[test]
+    fn naive_is_write_minimal_but_read_heavy() {
+        let n = 32;
+        let (d, words) = alloc_layout(&[(n, n), (n, n), (n, n)]);
+        let cfg = CacheConfig {
+            capacity_words: 512, // 64 lines: B-column (32) + A-row + C + slack
+            line_words: 8,
+            ways: 0,
+            policy: Policy::Lru,
+        };
+        let mut mem = SimMem::new(words, MemSim::two_level(cfg));
+        d[0].store_mat(&mut mem, &Mat::random(n, n, 1));
+        d[1].store_mat(&mut mem, &Mat::random(n, n, 2));
+        // Reset counters after setup by rebuilding the simulator.
+        let data = std::mem::take(&mut mem.data);
+        let mut mem = SimMem::from_vec(data, MemSim::two_level(cfg));
+
+        naive_matmul(&mut mem, d[0], d[1], d[2]);
+        mem.sim.flush();
+        let c = mem.sim.llc();
+        let total_writebacks = c.victims_m + c.flush_victims_m;
+        let c_lines = (n * n / 8) as u64;
+        assert!(
+            total_writebacks <= 2 * c_lines,
+            "write-backs {total_writebacks} far above C size {c_lines}"
+        );
+        // Reads are Θ(n³/line): all of B is re-fetched for every row of A.
+        assert!(
+            c.fills > (n * n * n / 16) as u64,
+            "expected read-heavy behaviour, fills = {}",
+            c.fills
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Shared-memory parallel WA matmul — the §9 "WA SMP thread scheduler"
+//! direction, realized with crossbeam scoped threads.
+//!
+//! Two schedules over real threads:
+//!
+//! * [`par_matmul_wa`] — *owner-computes*: each thread owns a disjoint
+//!   slab of C's block rows and runs the WA Algorithm 1 order inside it
+//!   (`k` innermost). Every C element is written by exactly one thread,
+//!   exactly once — the WA property survives parallelization, and there
+//!   is no inter-thread write sharing (no coherence write traffic).
+//! * [`par_matmul_kpart`] — *k-partitioned*: threads split the shared
+//!   dimension and produce partial products that must be reduced — every
+//!   C element is written `threads` times plus the reduction, the
+//!   parallel analogue of a non-WA order.
+//!
+//! Both are verified against the sequential reference; the per-thread
+//! write volumes are returned so tests (and benches) can observe the
+//! write multiplication directly.
+
+use wa_core::Mat;
+
+/// Per-thread write statistics (words written to shared arrays).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThreadWrites {
+    /// Words written into C (or a partial buffer destined for C).
+    pub c_writes: u64,
+}
+
+/// Owner-computes WA schedule: C's rows are split into `threads`
+/// contiguous slabs; thread `t` computes its slab with the blocked WA
+/// order. Returns per-thread write counts.
+pub fn par_matmul_wa(a: &Mat, b: &Mat, c: &mut Mat, bsize: usize, threads: usize) -> Vec<ThreadWrites> {
+    let (m, n, l) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(c.rows(), m);
+    assert_eq!(c.cols(), l);
+    assert_eq!(b.rows(), n);
+    assert!(threads >= 1 && bsize >= 1);
+
+    let rows_per = m.div_ceil(threads);
+    let mut stats = vec![ThreadWrites::default(); threads];
+    // Disjoint row slabs of C: safe shared-memory parallelism without
+    // any write sharing (each cache line of C has one writer).
+    let c_data = c.as_mut_slice();
+    let slabs: Vec<&mut [f64]> = c_data.chunks_mut(rows_per * l).collect();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (t, slab) in slabs.into_iter().enumerate() {
+            let r0 = t * rows_per;
+            handles.push(s.spawn(move |_| {
+                let rows = slab.len() / l;
+                let mut writes = 0u64;
+                // Blocked WA order within the slab: i, j blocks outer,
+                // k innermost, register accumulator.
+                let mut ib = 0;
+                while ib < rows {
+                    let ie = (ib + bsize).min(rows);
+                    let mut jb = 0;
+                    while jb < l {
+                        let je = (jb + bsize).min(l);
+                        for i in ib..ie {
+                            for j in jb..je {
+                                let mut acc = slab[i * l + j];
+                                for k in 0..n {
+                                    acc += a[(r0 + i, k)] * b[(k, j)];
+                                }
+                                slab[i * l + j] = acc;
+                                writes += 1;
+                            }
+                        }
+                        jb = je;
+                    }
+                    ib = ie;
+                }
+                (t, ThreadWrites { c_writes: writes })
+            }));
+        }
+        for h in handles {
+            let (t, w) = h.join().expect("worker panicked");
+            stats[t] = w;
+        }
+    })
+    .expect("scope failed");
+    stats
+}
+
+/// k-partitioned schedule: thread `t` computes `A[:, kt..] · B[kt.., :]`
+/// into a private full-size partial buffer; partials are then reduced
+/// into C. Same flops, `threads + 1`× the C-sized writes.
+pub fn par_matmul_kpart(
+    a: &Mat,
+    b: &Mat,
+    c: &mut Mat,
+    threads: usize,
+) -> Vec<ThreadWrites> {
+    let (m, n, l) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(c.rows(), m);
+    assert_eq!(c.cols(), l);
+    assert_eq!(b.rows(), n);
+    let k_per = n.div_ceil(threads);
+
+    let mut partials: Vec<Mat> = Vec::new();
+    let mut stats = vec![ThreadWrites::default(); threads];
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let k0 = (t * k_per).min(n);
+            let k1 = ((t + 1) * k_per).min(n);
+            handles.push(s.spawn(move |_| {
+                let mut p = Mat::zeros(m, l);
+                let mut writes = 0u64;
+                for i in 0..m {
+                    for j in 0..l {
+                        let mut acc = 0.0;
+                        for k in k0..k1 {
+                            acc += a[(i, k)] * b[(k, j)];
+                        }
+                        p[(i, j)] = acc;
+                        writes += 1;
+                    }
+                }
+                (t, p, ThreadWrites { c_writes: writes })
+            }));
+        }
+        for h in handles {
+            let (t, p, w) = h.join().expect("worker panicked");
+            stats[t] = w;
+            partials.push(p);
+        }
+    })
+    .expect("scope failed");
+
+    // Reduction: every C element written once more.
+    for p in &partials {
+        for i in 0..m {
+            for j in 0..l {
+                c[(i, j)] += p[(i, j)];
+            }
+        }
+    }
+    stats
+}
+
+/// Total writes of C-sized data across threads (plus reduction for the
+/// k-partitioned schedule, which the caller accounts separately).
+pub fn total_c_writes(stats: &[ThreadWrites]) -> u64 {
+    stats.iter().map(|s| s.c_writes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wa_schedule_correct_across_thread_counts() {
+        let (m, n, l) = (37, 23, 29);
+        let a = Mat::random(m, n, 71);
+        let b = Mat::random(n, l, 72);
+        let want = a.matmul_ref(&b);
+        for threads in [1usize, 2, 3, 8] {
+            let mut c = Mat::zeros(m, l);
+            let stats = par_matmul_wa(&a, &b, &mut c, 8, threads);
+            assert!(c.max_abs_diff(&want) < 1e-10, "threads={threads}");
+            // WA property: total C writes == C size, regardless of threads.
+            assert_eq!(total_c_writes(&stats), (m * l) as u64);
+        }
+    }
+
+    #[test]
+    fn kpart_schedule_correct_but_write_heavy() {
+        let (m, n, l) = (24, 32, 20);
+        let a = Mat::random(m, n, 73);
+        let b = Mat::random(n, l, 74);
+        let want = a.matmul_ref(&b);
+        let threads = 4;
+        let mut c = Mat::zeros(m, l);
+        let stats = par_matmul_kpart(&a, &b, &mut c, threads);
+        assert!(c.max_abs_diff(&want) < 1e-10);
+        // Partial-product writes: threads × C size (plus the reduction).
+        assert_eq!(total_c_writes(&stats), (threads * m * l) as u64);
+    }
+
+    #[test]
+    fn schedules_agree_with_each_other() {
+        let n = 31;
+        let a = Mat::random(n, n, 75);
+        let b = Mat::random(n, n, 76);
+        let mut c1 = Mat::zeros(n, n);
+        let mut c2 = Mat::zeros(n, n);
+        par_matmul_wa(&a, &b, &mut c1, 4, 3);
+        par_matmul_kpart(&a, &b, &mut c2, 3);
+        assert!(c1.max_abs_diff(&c2) < 1e-10);
+    }
+
+    #[test]
+    fn single_row_and_tiny_inputs() {
+        let a = Mat::random(1, 5, 77);
+        let b = Mat::random(5, 1, 78);
+        let want = a.matmul_ref(&b);
+        let mut c = Mat::zeros(1, 1);
+        par_matmul_wa(&a, &b, &mut c, 16, 4);
+        assert!((c[(0, 0)] - want[(0, 0)]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests on the dense kernels' *traffic* (not just numerics):
+//! the explicit-model counts obey the paper's closed forms for random
+//! divisible shapes, and the WA invariants hold under shape variation.
+
+use dense::explicit_mm::{block_for, explicit_mm_two_level};
+use dense::explicit_trsm::explicit_trsm_wa;
+use dense::matmul::LoopOrder;
+use memsim::ExplicitHier;
+use proptest::prelude::*;
+use wa_core::Mat;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Algorithm 1's exact counts for divisible shapes: loads = ml+2mnl/b,
+    /// stores = ml, peak residency ≤ M, Theorem 1 holds.
+    #[test]
+    fn algorithm1_counts_closed_form(
+        mb in 1usize..5,
+        nb in 1usize..5,
+        lb in 1usize..5,
+        bpow in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let bsz = 1 << bpow; // block size
+        let mem_words = (3 * bsz * bsz) as u64;
+        prop_assume!(block_for(mem_words) == bsz);
+        let (m, n, l) = (mb * bsz, nb * bsz, lb * bsz);
+        let a = Mat::random(m, n, seed);
+        let b = Mat::random(n, l, seed + 1);
+        let mut c = Mat::zeros(m, l);
+        let mut h = ExplicitHier::two_level(mem_words);
+        explicit_mm_two_level(&a, &b, &mut c, &mut h, LoopOrder::Ijk);
+        prop_assert!(c.max_abs_diff(&a.matmul_ref(&b)) < 1e-9);
+        let t = h.traffic().boundary(0);
+        let (mf, nf, lf, bf) = (m as u64, n as u64, l as u64, bsz as u64);
+        prop_assert_eq!(t.load_words, mf * lf + 2 * mf * nf * lf / bf);
+        prop_assert_eq!(t.store_words, mf * lf);
+        prop_assert!(h.peak(1) <= mem_words);
+        let (wf, tot) = h.theorem1_check(0);
+        prop_assert!(2 * wf >= tot);
+    }
+
+    /// WA vs non-WA store ratio equals the number of k-blocks, for every
+    /// divisible shape.
+    #[test]
+    fn store_ratio_equals_k_blocks(
+        nb in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let bsz = 4;
+        let n = nb * bsz;
+        let a = Mat::random(n, n, seed);
+        let b = Mat::random(n, n, seed + 3);
+        let mut c1 = Mat::zeros(n, n);
+        let mut c2 = Mat::zeros(n, n);
+        let mut h1 = ExplicitHier::two_level(48);
+        let mut h2 = ExplicitHier::two_level(48);
+        explicit_mm_two_level(&a, &b, &mut c1, &mut h1, LoopOrder::Ijk);
+        explicit_mm_two_level(&a, &b, &mut c2, &mut h2, LoopOrder::Kij);
+        prop_assert!(c1.max_abs_diff(&c2) < 1e-9);
+        let s1 = h1.traffic().boundary(0).store_words;
+        let s2 = h2.traffic().boundary(0).store_words;
+        prop_assert_eq!(s2, s1 * nb as u64);
+    }
+
+    /// TRSM stores exactly the output for any divisible shape, and the
+    /// solve is correct.
+    #[test]
+    fn trsm_stores_equal_output(
+        nb in 1usize..5,
+        rb in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let bsz = 4;
+        let (n, nrhs) = (nb * bsz, rb * bsz);
+        let t = Mat::random_upper_triangular(n, seed);
+        let x = Mat::random(n, nrhs, seed + 7);
+        let mut b = t.matmul_ref(&x);
+        let mut h = ExplicitHier::two_level(48);
+        explicit_trsm_wa(&t, &mut b, &mut h);
+        prop_assert!(b.max_abs_diff(&x) < 1e-7);
+        prop_assert_eq!(h.traffic().boundary(0).store_words, (n * nrhs) as u64);
+    }
+
+    /// The shared-memory WA schedule writes C exactly once for any thread
+    /// count and shape, and matches the sequential product.
+    #[test]
+    fn parallel_wa_write_invariant(
+        m in 1usize..30,
+        n in 1usize..30,
+        l in 1usize..30,
+        threads in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let a = Mat::random(m, n, seed);
+        let b = Mat::random(n, l, seed + 11);
+        let mut c = Mat::zeros(m, l);
+        let stats = dense::shared::par_matmul_wa(&a, &b, &mut c, 8, threads);
+        prop_assert!(c.max_abs_diff(&a.matmul_ref(&b)) < 1e-9);
+        prop_assert_eq!(dense::shared::total_c_writes(&stats), (m * l) as u64);
+    }
+}

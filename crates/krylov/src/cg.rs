@@ -1,0 +1,167 @@
+//! Conjugate gradients (paper Algorithm 6) with slow-memory accounting.
+
+use crate::counter::IoTally;
+use crate::csr::Csr;
+
+/// Result of a CG / CA-CG solve.
+#[derive(Clone, Debug)]
+pub struct SolveResult {
+    pub x: Vec<f64>,
+    /// Conventional-iteration count (CA-CG reports `outer × s`).
+    pub iters: usize,
+    /// Final true residual norm ‖b − Ax‖₂.
+    pub residual: f64,
+    /// Residual-norm history, one entry per conventional iteration
+    /// (per outer iteration for CA-CG).
+    pub history: Vec<f64>,
+}
+
+fn dot(a: &[f64], b: &[f64], io: &mut IoTally) -> f64 {
+    io.read(2 * a.len());
+    io.flop(2 * a.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm2(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Standard CG for SPD `A·x = b`. Each iteration writes the four n-vectors
+/// `x, r, p, w` back to slow memory (the paper's `W12 ≥ 4n − M₁` per
+/// iteration when `n ≫ M₁`).
+///
+/// ```
+/// use krylov::{cg::cg, counter::IoTally, stencil::laplacian_2d};
+/// let a = laplacian_2d(8, 8, 0.1);
+/// let b = vec![1.0; a.rows];
+/// let mut io = IoTally::default();
+/// let r = cg(&a, &b, &vec![0.0; a.rows], 1e-10, 500, &mut io);
+/// assert!(r.residual < 1e-8);
+/// assert!(io.writes > 0);
+/// ```
+pub fn cg(
+    a: &Csr,
+    b: &[f64],
+    x0: &[f64],
+    tol: f64,
+    max_iters: usize,
+    io: &mut IoTally,
+) -> SolveResult {
+    let n = a.rows;
+    assert_eq!(b.len(), n);
+    let mut x = x0.to_vec();
+    let mut r = vec![0.0; n];
+    let mut w = vec![0.0; n];
+    // r = b − A x0
+    a.spmv(&x, &mut r);
+    io.read(a.nnz() + n);
+    io.write(n);
+    io.flop(2 * a.nnz());
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    io.read(2 * n);
+    io.write(n);
+    let mut p = r.clone();
+    io.read(n);
+    io.write(n);
+    let bnorm = norm2(b).max(1e-300);
+    let mut delta = dot(&r, &r, io);
+    let mut history = vec![delta.sqrt() / bnorm];
+
+    let mut iters = 0;
+    while iters < max_iters && delta.sqrt() / bnorm > tol {
+        a.spmv(&p, &mut w); // w = A p
+        io.read(a.nnz() + n);
+        io.write(n);
+        io.flop(2 * a.nnz());
+        let alpha = delta / dot(&p, &w, io);
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * w[i];
+        }
+        io.read(4 * n);
+        io.write(2 * n);
+        io.flop(4 * n);
+        let delta_new = dot(&r, &r, io);
+        let beta = delta_new / delta;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        io.read(2 * n);
+        io.write(n);
+        io.flop(2 * n);
+        delta = delta_new;
+        iters += 1;
+        history.push(delta.sqrt() / bnorm);
+    }
+
+    // True residual.
+    let mut ax = vec![0.0; n];
+    a.spmv(&x, &mut ax);
+    let res = norm2(&b.iter().zip(&ax).map(|(u, v)| u - v).collect::<Vec<_>>());
+    SolveResult {
+        x,
+        iters,
+        residual: res,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::{band_1d, laplacian_2d};
+    use wa_core::XorShift;
+
+    #[test]
+    fn solves_poisson_2d() {
+        let a = laplacian_2d(12, 12, 0.0);
+        let n = a.rows;
+        let mut rng = XorShift::new(5);
+        let xt: Vec<f64> = (0..n).map(|_| rng.next_unit() - 0.5).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&xt, &mut b);
+        let mut io = IoTally::default();
+        let r = cg(&a, &b, &vec![0.0; n], 1e-10, 2000, &mut io);
+        assert!(r.residual < 1e-8, "residual {}", r.residual);
+        for (u, v) in r.x.iter().zip(&xt) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn residual_history_decreases_overall() {
+        let a = band_1d(100, 1, 0.5);
+        let b = vec![1.0; 100];
+        let mut io = IoTally::default();
+        let r = cg(&a, &b, &vec![0.0; 100], 1e-12, 500, &mut io);
+        assert!(r.history.last().unwrap() < &1e-12);
+        assert!(r.history[0] > *r.history.last().unwrap());
+    }
+
+    #[test]
+    fn writes_scale_as_4n_per_iteration() {
+        let a = laplacian_2d(16, 16, 0.0);
+        let n = a.rows;
+        let b = vec![1.0; n];
+        let mut io = IoTally::default();
+        let r = cg(&a, &b, &vec![0.0; n], 1e-30, 50, &mut io);
+        assert_eq!(r.iters, 50, "should hit the cap");
+        let per_iter = (io.writes as f64) / 50.0;
+        assert!(
+            (per_iter - 4.0 * n as f64).abs() < 0.2 * n as f64,
+            "writes/iter {per_iter} vs 4n = {}",
+            4 * n
+        );
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let a = band_1d(50, 2, 1.0);
+        let mut io = IoTally::default();
+        let r = cg(&a, &vec![0.0; 50], &vec![0.0; 50], 1e-10, 100, &mut io);
+        assert_eq!(r.iters, 0);
+        assert!(r.residual < 1e-12);
+    }
+}

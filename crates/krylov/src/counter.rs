@@ -1,0 +1,65 @@
+//! Slow-memory traffic tally for the Krylov kernels.
+//!
+//! Explicit-model convention of §8: the matrix and all n-vectors reside in
+//! slow memory (n ≫ M₁); scalars and every O(s)×O(s) object live in fast
+//! memory for free. Kernels charge reads and writes of vector/matrix words
+//! as they stream them.
+
+/// Word counts of slow-memory traffic (the `W12` of the paper's §8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoTally {
+    /// Words read from slow memory.
+    pub reads: u64,
+    /// Words written to slow memory.
+    pub writes: u64,
+    /// Floating-point operations.
+    pub flops: u64,
+}
+
+impl IoTally {
+    pub fn read(&mut self, words: usize) {
+        self.reads += words as u64;
+    }
+
+    pub fn write(&mut self, words: usize) {
+        self.writes += words as u64;
+    }
+
+    pub fn flop(&mut self, n: usize) {
+        self.flops += n as u64;
+    }
+
+    /// Writes per "CG-step equivalent" given `steps` conventional
+    /// iterations' worth of progress.
+    pub fn writes_per_step(&self, steps: usize) -> f64 {
+        self.writes as f64 / steps.max(1) as f64
+    }
+}
+
+impl std::ops::AddAssign for IoTally {
+    fn add_assign(&mut self, o: IoTally) {
+        self.reads += o.reads;
+        self.writes += o.writes;
+        self.flops += o.flops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_accumulates() {
+        let mut t = IoTally::default();
+        t.read(10);
+        t.write(4);
+        t.flop(100);
+        let mut u = IoTally::default();
+        u.read(1);
+        u += t;
+        assert_eq!(u.reads, 11);
+        assert_eq!(u.writes, 4);
+        assert_eq!(u.flops, 100);
+        assert_eq!(t.writes_per_step(2), 2.0);
+    }
+}

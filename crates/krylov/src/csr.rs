@@ -1,0 +1,215 @@
+//! Compressed-sparse-row matrices and SpMV kernels.
+
+/// CSR sparse matrix (square or rectangular).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    pub rows: usize,
+    pub cols: usize,
+    pub row_ptr: Vec<usize>,
+    pub col_idx: Vec<usize>,
+    pub vals: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from (row, col, value) triplets; duplicates are summed.
+    pub fn from_triplets(rows: usize, cols: usize, mut t: Vec<(usize, usize, f64)>) -> Self {
+        t.sort_by_key(|a| (a.0, a.1));
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(t.len());
+        let mut vals: Vec<f64> = Vec::with_capacity(t.len());
+        let mut cur_row = 0usize;
+        for &(r, c, v) in &t {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of range");
+            while cur_row < r {
+                cur_row += 1;
+                row_ptr[cur_row] = col_idx.len();
+            }
+            // Merge a duplicate (same row, same column as the previous
+            // entry of this row).
+            if col_idx.len() > row_ptr[r] && *col_idx.last().unwrap() == c {
+                *vals.last_mut().unwrap() += v;
+            } else {
+                col_idx.push(c);
+                vals.push(v);
+            }
+        }
+        while cur_row < rows {
+            cur_row += 1;
+            row_ptr[cur_row] = col_idx.len();
+        }
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `y = A·x` over the full row range.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_range(x, y, 0, self.rows);
+    }
+
+    /// `y[r] = Σ A[r,c]·x[c]` for rows `r ∈ [r0, r1)` only (the blockwise
+    /// matrix-powers building block; other entries of `y` untouched).
+    pub fn spmv_range(&self, x: &[f64], y: &mut [f64], r0: usize, r1: usize) {
+        assert!(x.len() >= self.cols && y.len() >= self.rows && r1 <= self.rows);
+        for r in r0..r1 {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.vals[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Parallel SpMV over `threads` row slabs using crossbeam scoped
+    /// threads. Deterministic (each thread owns a disjoint output slab).
+    pub fn spmv_parallel(&self, x: &[f64], y: &mut [f64], threads: usize) {
+        assert!(threads >= 1);
+        let rows = self.rows;
+        let chunk = rows.div_ceil(threads);
+        let slabs: Vec<&mut [f64]> = y[..rows].chunks_mut(chunk).collect();
+        crossbeam::thread::scope(|s| {
+            for (t, slab) in slabs.into_iter().enumerate() {
+                let r0 = t * chunk;
+                s.spawn(move |_| {
+                    for (i, out) in slab.iter_mut().enumerate() {
+                        let r = r0 + i;
+                        let mut acc = 0.0;
+                        for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                            acc += self.vals[k] * x[self.col_idx[k]];
+                        }
+                        *out = acc;
+                    }
+                });
+            }
+        })
+        .expect("spmv worker panicked");
+    }
+
+    /// Smallest and largest column index reachable from rows `[r0, r1)` —
+    /// one step of range-based dependency closure (exact for banded
+    /// matrices, conservative in general). Returns `(c_min, c_max+1)`.
+    pub fn reach_range(&self, r0: usize, r1: usize) -> (usize, usize) {
+        let mut lo = usize::MAX;
+        let mut hi = 0usize;
+        for r in r0..r1 {
+            let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            if s < e {
+                lo = lo.min(self.col_idx[s..e].iter().copied().min().unwrap());
+                hi = hi.max(self.col_idx[s..e].iter().copied().max().unwrap() + 1);
+            }
+        }
+        if lo == usize::MAX {
+            (r0, r1)
+        } else {
+            (lo.min(r0), hi.max(r1))
+        }
+    }
+
+    /// Dense reference multiply for small verification cases.
+    pub fn to_dense_row(&self, r: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+            out[self.col_idx[k]] += self.vals[k];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wa_core::XorShift;
+
+    fn small() -> Csr {
+        // [2 1 0]
+        // [0 3 0]
+        // [4 0 5]
+        Csr::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+    }
+
+    #[test]
+    fn spmv_small() {
+        let a = small();
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, vec![4.0, 6.0, 19.0]);
+        assert_eq!(a.nnz(), 5);
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let a = Csr::from_triplets(4, 4, vec![(0, 0, 1.0), (3, 3, 2.0)]);
+        let mut y = vec![9.0; 4];
+        a.spmv(&[1.0, 1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn range_spmv_touches_only_range() {
+        let a = small();
+        let mut y = vec![-1.0; 3];
+        a.spmv_range(&[1.0, 1.0, 1.0], &mut y, 1, 2);
+        assert_eq!(y, vec![-1.0, 3.0, -1.0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 500;
+        let mut rng = XorShift::new(4);
+        let mut t = Vec::new();
+        for r in 0..n {
+            for _ in 0..5 {
+                t.push((r, rng.next_below(n), rng.next_unit()));
+            }
+        }
+        let a = Csr::from_triplets(n, n, t);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        a.spmv(&x, &mut y1);
+        for threads in [1, 2, 4, 7] {
+            a.spmv_parallel(&x, &mut y2, threads);
+            for (u, v) in y1.iter().zip(&y2) {
+                assert!((u - v).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn reach_range_expands_by_bandwidth() {
+        // Tridiagonal: reach of [5,6) is [4,7).
+        let n = 10;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+            }
+        }
+        let a = Csr::from_triplets(n, n, t);
+        assert_eq!(a.reach_range(5, 6), (4, 7));
+        assert_eq!(a.reach_range(0, 1), (0, 2));
+    }
+
+    #[test]
+    fn duplicate_triplets_sum() {
+        let a = Csr::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(a.to_dense_row(0)[0], 3.5);
+    }
+}

@@ -1,0 +1,352 @@
+//! Inclusive multi-level write-back hierarchy.
+//!
+//! Levels are ordered fastest first (`levels[0]` = L1, last = LLC). The
+//! hierarchy is *inclusive* like the Nehalem-EX machine in the paper's
+//! Section 6: every line resident in a faster level is also resident in all
+//! slower levels, and evicting a line from a slower level back-invalidates
+//! the faster copies (merging their dirtiness into the victim). Writes dirty
+//! the topmost level only; dirtiness trickles down on eviction, exactly as
+//! in hardware write-back caches.
+//!
+//! Counters per level mirror the paper's uncore events; at the last level,
+//! `victims_m` is the number of obligatory DRAM write-backs
+//! (`LLC_VICTIMS.M`), `victims_e` the clean forgotten lines
+//! (`LLC_VICTIMS.E`), and `fills` the DRAM→LLC reads (`LLC_S_FILLS.E`).
+
+use crate::cache::{CacheConfig, Level, LevelCounters, Touch, Victim};
+
+/// Multi-level cache simulator. See the module docs for semantics.
+///
+/// ```
+/// use memsim::{CacheConfig, MemSim, Policy};
+/// let mut sim = MemSim::two_level(CacheConfig {
+///     capacity_words: 64, line_words: 8, ways: 0, policy: Policy::Lru,
+/// });
+/// sim.write(0);           // miss, fill, dirty
+/// sim.read(3);            // same line: hit
+/// assert_eq!(sim.llc().hits, 1);
+/// sim.flush();
+/// assert_eq!(sim.dram_writes_lines, 1);
+/// ```
+pub struct MemSim {
+    levels: Vec<Level>,
+    line_words: usize,
+    clock: u64,
+    /// Lines read from DRAM (= fills of the last level).
+    pub dram_reads_lines: u64,
+    /// Lines written back to DRAM (dirty LLC victims; includes flush if
+    /// [`MemSim::flush`] is called).
+    pub dram_writes_lines: u64,
+}
+
+impl MemSim {
+    /// Build a hierarchy from fastest to slowest. All levels must share the
+    /// line size and capacities must be strictly increasing (inclusivity).
+    pub fn new(cfgs: &[CacheConfig]) -> Self {
+        assert!(!cfgs.is_empty(), "need at least one cache level");
+        let line_words = cfgs[0].line_words;
+        for w in cfgs.windows(2) {
+            assert_eq!(
+                w[0].line_words, w[1].line_words,
+                "all levels must share a line size"
+            );
+            assert!(
+                w[0].capacity_words < w[1].capacity_words,
+                "capacities must increase toward the LLC (inclusive hierarchy)"
+            );
+        }
+        MemSim {
+            levels: cfgs.iter().map(|c| Level::new(*c)).collect(),
+            line_words,
+            clock: 0,
+            dram_reads_lines: 0,
+            dram_writes_lines: 0,
+        }
+    }
+
+    /// Convenience: a single-level (cache + DRAM) simulator, the two-level
+    /// model of Sections 2–5.
+    pub fn two_level(cfg: CacheConfig) -> Self {
+        MemSim::new(&[cfg])
+    }
+
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    pub fn line_words(&self) -> usize {
+        self.line_words
+    }
+
+    /// Counters of level `i` (0 = L1 ... last = LLC).
+    pub fn counters(&self, i: usize) -> LevelCounters {
+        self.levels[i].counters
+    }
+
+    /// Counters of the last (largest) level — the one the paper plots.
+    pub fn llc(&self) -> LevelCounters {
+        self.levels.last().unwrap().counters
+    }
+
+    /// Record a read of word address `addr`.
+    #[inline]
+    pub fn read(&mut self, addr: usize) {
+        self.access(addr as u64, false);
+    }
+
+    /// Record a write of word address `addr`.
+    #[inline]
+    pub fn write(&mut self, addr: usize) {
+        self.access(addr as u64, true);
+    }
+
+    /// Record a sequential scan of `[addr, addr + words)`.
+    pub fn read_range(&mut self, addr: usize, words: usize) {
+        for a in addr..addr + words {
+            self.read(a);
+        }
+    }
+
+    /// Record sequential writes over `[addr, addr + words)`.
+    pub fn write_range(&mut self, addr: usize, words: usize) {
+        for a in addr..addr + words {
+            self.write(a);
+        }
+    }
+
+    fn access(&mut self, addr: u64, is_write: bool) {
+        self.clock += 1;
+        let line = addr / self.line_words as u64;
+        let n = self.levels.len();
+
+        // Walk down until a hit; dirtiness is tracked at L1 only.
+        let mut hit = n; // n = missed everywhere (DRAM)
+        for i in 0..n {
+            match self.levels[i].touch(line, self.clock, is_write && i == 0) {
+                Touch::Hit => {
+                    hit = i;
+                    break;
+                }
+                Touch::Miss => {}
+            }
+        }
+        if hit == n {
+            self.dram_reads_lines += 1;
+        }
+
+        // Fill the line into every level above the hit, slowest first so
+        // inclusion holds when victim handling back-invalidates.
+        for i in (0..hit.min(n)).rev() {
+            let dirty_here = is_write && i == 0;
+            if let Some(v) = self.levels[i].insert(line, self.clock, dirty_here) {
+                self.handle_victim(i, v);
+            }
+        }
+    }
+
+    /// A victim was displaced from level `i`: back-invalidate faster
+    /// copies (inclusion), merge dirtiness, write back to `i+1` or DRAM.
+    fn handle_victim(&mut self, i: usize, v: Victim) {
+        let mut dirty = v.dirty;
+        for j in 0..i {
+            if let Some(upper_dirty) = self.levels[j].invalidate(v.line) {
+                dirty |= upper_dirty;
+            }
+        }
+        self.levels[i].count_victim(dirty);
+        if dirty {
+            if i + 1 < self.levels.len() {
+                // Present below by inclusion.
+                let present = self.levels[i + 1].mark_dirty(v.line);
+                debug_assert!(present, "inclusion violated: victim absent below");
+            } else {
+                self.dram_writes_lines += 1;
+            }
+        }
+    }
+
+    /// Drain all levels, writing dirty lines to DRAM. Returns the number of
+    /// lines flushed to DRAM. Flush-caused LLC victims are recorded in
+    /// `flush_victims_m`, *not* in `victims_m`, so the during-run counters
+    /// remain comparable to the paper's (cold-start, no-flush) runs.
+    pub fn flush(&mut self) -> u64 {
+        let n = self.levels.len();
+        let mut flushed = 0;
+        // Top-down: push dirtiness toward the LLC.
+        for i in 0..n {
+            let drained = self.levels[i].drain();
+            for (line, dirty) in drained {
+                if dirty {
+                    if i + 1 < n {
+                        self.levels[i + 1].mark_dirty(line);
+                    } else {
+                        self.dram_writes_lines += 1;
+                        self.levels[i].counters.flush_victims_m += 1;
+                        flushed += 1;
+                    }
+                }
+            }
+        }
+        flushed
+    }
+
+    /// Total resident lines at level `i` (diagnostics).
+    pub fn resident_lines(&self, i: usize) -> usize {
+        self.levels[i].resident_lines()
+    }
+
+    /// Is the line containing word `addr` resident at level `i`
+    /// (diagnostics)?
+    pub fn contains(&self, i: usize, addr: usize) -> bool {
+        self.levels[i].contains(addr as u64 / self.line_words as u64)
+    }
+
+    /// The configuration of level `i`.
+    pub fn config(&self, i: usize) -> CacheConfig {
+        *self.levels[i].cfg()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+
+    fn cfg(words: usize, ways: usize) -> CacheConfig {
+        CacheConfig {
+            capacity_words: words,
+            line_words: 8,
+            ways,
+            policy: Policy::Lru,
+        }
+    }
+
+    #[test]
+    fn read_miss_fills_all_levels() {
+        let mut m = MemSim::new(&[cfg(64, 0), cfg(256, 0)]);
+        m.read(0);
+        assert_eq!(m.counters(0).misses, 1);
+        assert_eq!(m.counters(1).misses, 1);
+        assert_eq!(m.counters(0).fills, 1);
+        assert_eq!(m.counters(1).fills, 1);
+        assert_eq!(m.dram_reads_lines, 1);
+        // Second read of the same line hits L1; no LLC traffic.
+        m.read(3);
+        assert_eq!(m.counters(0).hits, 1);
+        assert_eq!(m.counters(1).hits, 0);
+    }
+
+    #[test]
+    fn write_dirties_topmost_only_and_flush_reaches_dram() {
+        let mut m = MemSim::new(&[cfg(64, 0), cfg(256, 0)]);
+        m.write(5);
+        assert_eq!(m.dram_writes_lines, 0);
+        let flushed = m.flush();
+        assert_eq!(flushed, 1);
+        assert_eq!(m.dram_writes_lines, 1);
+        assert_eq!(m.llc().flush_victims_m, 1);
+        assert_eq!(m.llc().victims_m, 0, "flush must not pollute victims_m");
+    }
+
+    #[test]
+    fn dirty_line_written_back_on_capacity_eviction() {
+        // Single-level cache of 2 lines, LRU.
+        let mut m = MemSim::two_level(cfg(16, 0));
+        m.write(0); // line 0 dirty
+        m.read(8); // line 1
+        m.read(16); // line 2 -> evicts line 0 (LRU), dirty
+        assert_eq!(m.llc().victims_m, 1);
+        assert_eq!(m.dram_writes_lines, 1);
+        m.read(24); // line 3 -> evicts line 1, clean
+        assert_eq!(m.llc().victims_e, 1);
+        assert_eq!(m.dram_writes_lines, 1);
+    }
+
+    #[test]
+    fn llc_eviction_back_invalidates_and_merges_dirtiness() {
+        // L1: 1 line. L2: 2 lines. Write line 0 (dirty in L1, clean in L2).
+        let mut m = MemSim::new(&[cfg(8, 0), cfg(16, 0)]);
+        m.write(0); // line 0: dirty in L1 only
+        m.read(8); // line 1: evicts line 0 from L1 -> L2 copy goes dirty
+        m.read(16); // line 2: evicts line 0 from L2 (LRU) -> DRAM write
+        assert_eq!(m.dram_writes_lines, 1);
+        assert_eq!(m.llc().victims_m, 1);
+    }
+
+    #[test]
+    fn llc_eviction_with_dirtiness_still_in_l1_counts_modified() {
+        // L1 hits do not refresh the LLC's recency, so the LLC can evict a
+        // line that is still dirty in L1: inclusion back-invalidates the L1
+        // copy and the victim must be classified M.
+        let mut m = MemSim::new(&[cfg(16, 0), cfg(24, 0)]); // 2-line L1, 3-line L2
+        m.write(0); // line 0 dirty in L1, clean in L2
+        m.read(8); // line 1 in both
+        m.read(0); // L1 hit keeps line 0 hot in L1 *only*
+        m.read(16); // line 2: L1 evicts line 1 (clean); L2 now full
+        m.read(24); // line 3: L2 evicts its LRU = line 0, still dirty in L1
+        assert_eq!(m.dram_writes_lines, 1);
+        assert_eq!(m.llc().victims_m, 1);
+        // And the L1 copy must be gone (back-invalidated).
+        m.read(0); // must miss everywhere now
+        assert_eq!(m.dram_reads_lines, 5);
+    }
+
+    #[test]
+    fn streaming_reads_count_one_fill_per_line() {
+        let mut m = MemSim::two_level(cfg(64, 0));
+        m.read_range(0, 64); // 8 lines
+        assert_eq!(m.llc().fills, 8);
+        assert_eq!(m.llc().hits, 56);
+        assert_eq!(m.dram_reads_lines, 8);
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_evicts() {
+        let mut m = MemSim::two_level(cfg(128, 0));
+        for _ in 0..10 {
+            m.read_range(0, 128);
+        }
+        assert_eq!(m.llc().victims(), 0);
+        assert_eq!(m.llc().fills, 16);
+    }
+
+    #[test]
+    fn write_only_stream_produces_equal_writebacks_after_flush() {
+        let mut m = MemSim::two_level(cfg(64, 0));
+        m.write_range(0, 512); // 64 lines through an 8-line cache
+        let during = m.llc().victims_m;
+        m.flush();
+        assert_eq!(during + m.llc().flush_victims_m, 64);
+        assert_eq!(m.dram_writes_lines, 64);
+    }
+
+    #[test]
+    fn set_associative_conflict_behavior() {
+        // 4 lines, direct-mapped: lines 0 and 4 conflict.
+        let mut m = MemSim::two_level(CacheConfig {
+            capacity_words: 32,
+            line_words: 8,
+            ways: 1,
+            policy: Policy::Lru,
+        });
+        m.read(0);
+        m.read(32); // line 4, same set as line 0
+        m.read(0); // miss again (conflict), despite capacity
+        assert_eq!(m.llc().misses, 3);
+    }
+
+    #[test]
+    fn clock_policy_runs_end_to_end() {
+        let mut m = MemSim::two_level(CacheConfig {
+            capacity_words: 64,
+            line_words: 8,
+            ways: 4,
+            policy: Policy::Clock3,
+        });
+        for a in (0..2048).step_by(8) {
+            m.read(a);
+        }
+        assert_eq!(m.llc().fills, 256);
+        assert_eq!(m.llc().victims(), 256 - 8);
+    }
+}

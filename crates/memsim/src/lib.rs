@@ -1,0 +1,40 @@
+//! # memsim — memory-hierarchy simulation substrate
+//!
+//! The paper validates its theory two ways: (a) by *explicit* load/store
+//! accounting inside blocked algorithms (Sections 2 and 4), and (b) by
+//! hardware cache counters on an Intel Xeon 7560 under hardware-controlled
+//! replacement (Section 6). This crate provides both substrates:
+//!
+//! * [`explicit`] — an r-level hierarchy where the *algorithm* issues block
+//!   `load`/`store` operations and the model checks capacities and counts
+//!   words/messages per boundary. This reproduces the comment-annotated
+//!   counts of Algorithms 1–4 exactly.
+//! * [`cache`] + [`hierarchy`] — an inclusive, write-back, write-allocate
+//!   multi-level cache simulator with per-line Modified/Exclusive state and
+//!   pluggable replacement ([`policy`]): true LRU, the 3-bit "clock"
+//!   LRU approximation attributed to Nehalem-EX, FIFO, and (offline)
+//!   Belady's optimal policy. Its counters map one-to-one onto the events
+//!   the paper measures: `LLC_VICTIMS.M`, `LLC_VICTIMS.E`, `LLC_S_FILLS.E`.
+//! * [`mem`] — the [`mem::Mem`] access trait through which instrumented
+//!   kernels run unchanged on raw memory (no counting, full speed), on the
+//!   cache simulator, or on a trace recorder.
+//! * [`ideal`] — the ideal-cache miss count model for the cache-oblivious
+//!   matmul of Frigo et al. (the black line of Figure 2a) and a small
+//!   Belady simulator used to sanity-check it.
+//! * [`xeon`] — ready-made hierarchy configurations: the scaled Xeon 7560
+//!   geometry used by all Figure 2 / Figure 5 reproductions.
+
+pub mod cache;
+pub mod explicit;
+pub mod hierarchy;
+pub mod ideal;
+pub mod mem;
+pub mod policy;
+pub mod writebuffer;
+pub mod xeon;
+
+pub use cache::{CacheConfig, LevelCounters};
+pub use explicit::ExplicitHier;
+pub use hierarchy::MemSim;
+pub use mem::{Mem, RawMem, SimMem, TraceMem};
+pub use policy::Policy;

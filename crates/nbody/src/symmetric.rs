@@ -1,0 +1,110 @@
+//! The symmetry-exploiting (Newton's third law) N-body variant.
+//!
+//! Halves the interaction count by computing each pair once and applying
+//! `F_ji = -F_ij`, but — as §4.4 argues — every pass through the inner
+//! loop now updates forces on *both* blocks, so partial force accumulators
+//! for all `N` particles are repeatedly written back: `Θ(N²/b)` stores to
+//! slow memory instead of `N`. Write-avoiding and flop-halving are in
+//! tension.
+
+use crate::force::{phi2, Particle, Vec3};
+use memsim::ExplicitHier;
+
+/// Two-level blocked symmetric N-body: the interaction loop runs over
+/// unordered block pairs `(i, j)`, `j ≥ i`, updating both `F(i)` and
+/// `F(j)`; `F(j)` must be stored back each pass.
+pub fn explicit_nbody_symmetric(p: &[Particle], hier: &mut ExplicitHier) -> Vec<Vec3> {
+    let n = p.len();
+    // Four resident blocks now: P(i), P(j), F(i), F(j).
+    let b = ((hier.capacity(1) / 4) as usize).max(1);
+    let mut f = vec![Vec3::default(); n];
+
+    let mut i = 0;
+    while i < n {
+        let bi = b.min(n - i);
+        hier.load(0, bi as u64); // P(i)
+        hier.load(0, bi as u64); // F(i): partially accumulated, re-read
+        let mut j = i;
+        while j < n {
+            let bj = b.min(n - j);
+            if j > i {
+                hier.load(0, bj as u64); // P(j)
+                hier.load(0, bj as u64); // F(j): partial sums re-read
+            }
+            for ii in i..i + bi {
+                let jj0 = if j == i { ii + 1 } else { j };
+                for jj in jj0..j + bj {
+                    let fij = phi2(p[ii], p[jj]);
+                    f[ii] = f[ii].add(fij);
+                    f[jj] = f[jj].sub(fij);
+                }
+            }
+            // One Φ₂ evaluation per unordered pair in this block pair.
+            let interactions = if j == i {
+                bi * bi.saturating_sub(1) / 2
+            } else {
+                bi * bj
+            };
+            hier.flop(interactions as u64);
+            if j > i {
+                hier.store(0, bj as u64); // F(j) written back every pass
+                hier.free(1, 2 * bj as u64);
+            }
+            j += bj;
+        }
+        hier.store(0, bi as u64); // F(i)
+        hier.free(1, 2 * bi as u64);
+        i += bi;
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::explicit_nbody_wa;
+    use crate::force::reference_forces;
+
+    #[test]
+    fn symmetric_matches_reference() {
+        let p = Particle::random_cloud(40, 21);
+        let mut h = ExplicitHier::two_level(16);
+        let f = explicit_nbody_symmetric(&p, &mut h);
+        let want = reference_forces(&p);
+        for (a, b) in f.iter().zip(&want) {
+            assert!(a.max_abs_diff(*b) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetric_halves_flops_but_multiplies_writes() {
+        let n = 64usize;
+        let p = Particle::random_cloud(n, 22);
+        let mut h_wa = ExplicitHier::two_level(12); // b = 4
+        let mut h_sym = ExplicitHier::two_level(16); // b = 4 (M/4)
+        let f1 = explicit_nbody_wa(&p, &mut h_wa);
+        let f2 = explicit_nbody_symmetric(&p, &mut h_sym);
+        for (a, b) in f1.iter().zip(&f2) {
+            assert!(a.max_abs_diff(*b) < 1e-12);
+        }
+        // Roughly half the interactions...
+        assert!(h_sym.flops() < 6 * h_wa.flops() / 10);
+        // ...but stores scale like N²/b instead of N.
+        let s_wa = h_wa.traffic().boundary(0).store_words;
+        let s_sym = h_sym.traffic().boundary(0).store_words;
+        assert_eq!(s_wa, n as u64);
+        assert!(
+            s_sym as f64 > 0.3 * (n * n / 4) as f64 / 2.0,
+            "symmetric stores {s_sym} should scale with N²/b"
+        );
+        assert!(s_sym > 4 * s_wa);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let p = Particle::random_cloud(30, 23);
+        let mut h = ExplicitHier::two_level(16);
+        let _ = explicit_nbody_symmetric(&p, &mut h);
+        assert!(h.peak(1) <= 16);
+    }
+}

@@ -1,0 +1,135 @@
+//! Collective-communication charging helpers.
+//!
+//! The paper's analyses use simple binomial-tree collectives: a broadcast
+//! of `w` words to `k` parties costs each participant up to
+//! `log₂(k) · (α + w·β)` (formula (6) et seq.). These helpers charge the
+//! counters of every participant accordingly; they do not move data (the
+//! algorithms copy blocks themselves, since every node ends with the same
+//! value).
+
+use crate::machine::{Machine, Staging};
+
+/// Charge a binomial broadcast of `words` from `root` to `parties`
+/// (inclusive of the root). Every non-root receives once; internal tree
+/// nodes forward. We charge the worst-case participant: `ceil(log2 k)`
+/// rounds of send + receive of `words`, staged per `at`.
+pub fn charge_bcast(m: &mut Machine, root: usize, parties: &[usize], words: u64, at: Staging) {
+    let k = parties.len();
+    if k <= 1 || words == 0 {
+        return;
+    }
+    let rounds = (k as f64).log2().ceil() as u64;
+    for &p in parties {
+        let n = m.node_mut(p);
+        if p == root {
+            n.net_send_words += words * rounds;
+            n.net_send_msgs += rounds;
+            if at == Staging::L3 {
+                n.l3_read_words += words * rounds;
+                n.l3_read_msgs += rounds;
+            }
+        } else {
+            n.net_recv_words += words;
+            n.net_recv_msgs += 1;
+            // Interior tree nodes forward; charge one forwarding send to
+            // be conservative about the critical path.
+            n.net_send_words += words;
+            n.net_send_msgs += 1;
+            if at == Staging::L3 {
+                n.l3_write_words += words;
+                n.l3_write_msgs += 1;
+            }
+        }
+    }
+}
+
+/// Charge a binomial reduction of `words` from `parties` to `root`
+/// (element-wise combine). Mirror image of broadcast.
+pub fn charge_reduce(m: &mut Machine, root: usize, parties: &[usize], words: u64, at: Staging) {
+    let k = parties.len();
+    if k <= 1 || words == 0 {
+        return;
+    }
+    let rounds = (k as f64).log2().ceil() as u64;
+    for &p in parties {
+        let n = m.node_mut(p);
+        if p == root {
+            n.net_recv_words += words * rounds;
+            n.net_recv_msgs += rounds;
+            if at == Staging::L3 {
+                n.l3_write_words += words;
+                n.l3_write_msgs += 1;
+            }
+        } else {
+            n.net_send_words += words;
+            n.net_send_msgs += 1;
+            n.net_recv_words += words;
+            n.net_recv_msgs += 1;
+            if at == Staging::L3 {
+                n.l3_read_words += words;
+                n.l3_read_msgs += 1;
+            }
+        }
+    }
+}
+
+/// Charge a gather of one `words`-sized contribution from each party to
+/// `root` (paper's 2.5D step 1: `c` messages of size `2n²/P` each).
+pub fn charge_gather(m: &mut Machine, root: usize, parties: &[usize], words_each: u64, at: Staging) {
+    for &p in parties {
+        if p == root {
+            continue;
+        }
+        m.transfer(p, root, words_each, at, at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wa_core::CostParams;
+
+    #[test]
+    fn bcast_charges_log_rounds_at_root() {
+        let mut m = Machine::new(8, CostParams::nvm_cluster());
+        let parties: Vec<usize> = (0..8).collect();
+        charge_bcast(&mut m, 0, &parties, 100, Staging::L2);
+        assert_eq!(m.node(0).net_send_words, 300); // log2(8) = 3 rounds
+        assert_eq!(m.node(5).net_recv_words, 100);
+        assert_eq!(m.node(5).l3_write_words, 0);
+    }
+
+    #[test]
+    fn l3_staged_bcast_touches_nvm() {
+        let mut m = Machine::new(4, CostParams::nvm_cluster());
+        let parties: Vec<usize> = (0..4).collect();
+        charge_bcast(&mut m, 0, &parties, 10, Staging::L3);
+        assert_eq!(m.node(0).l3_read_words, 20); // 2 rounds
+        assert_eq!(m.node(3).l3_write_words, 10);
+    }
+
+    #[test]
+    fn reduce_mirrors_bcast() {
+        let mut m = Machine::new(8, CostParams::nvm_cluster());
+        let parties: Vec<usize> = (0..8).collect();
+        charge_reduce(&mut m, 2, &parties, 64, Staging::L2);
+        assert_eq!(m.node(2).net_recv_words, 192);
+        assert_eq!(m.node(0).net_send_words, 64);
+    }
+
+    #[test]
+    fn gather_transfers_from_each_party() {
+        let mut m = Machine::new(4, CostParams::nvm_cluster());
+        charge_gather(&mut m, 1, &[0, 1, 2, 3], 25, Staging::L2);
+        assert_eq!(m.node(1).net_recv_words, 75);
+        assert_eq!(m.node(1).net_recv_msgs, 3);
+        assert_eq!(m.node(0).net_send_words, 25);
+    }
+
+    #[test]
+    fn empty_or_single_party_is_noop() {
+        let mut m = Machine::new(2, CostParams::nvm_cluster());
+        charge_bcast(&mut m, 0, &[0], 100, Staging::L2);
+        assert_eq!(m.node(0).net_send_words, 0);
+    }
+}

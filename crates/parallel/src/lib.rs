@@ -1,0 +1,33 @@
+//! # parallel — distributed-memory write-avoiding algorithms
+//!
+//! Section 7 of the paper: P homogeneous processors, each with a local
+//! memory hierarchy (L1, L2 = DRAM, L3 = NVM), network attached to L2
+//! (Figure 1). Three data-placement scenarios:
+//!
+//! * **Model 1** — two local levels, data in L2;
+//! * **Model 2.1** — three levels, data fits in L2; NVM is optional extra
+//!   capacity that buys a larger 2.5D replication factor;
+//! * **Model 2.2** — data only fits in L3; Theorem 4 proves the
+//!   interprocessor-word and L3-write lower bounds cannot both be
+//!   attained, and two algorithms each attain one:
+//!   `2.5DMML3ooL2` (minimal network words) and `SUMMAL3ooL2`
+//!   (minimal L3 writes).
+//!
+//! The [`machine`] module is an *event-counting* simulator: algorithms
+//! execute real arithmetic on distributed blocks (verified against
+//! sequential references) while charging per-node word/message counters
+//! for every boundary; [`costmodel`] provides the paper's closed-form
+//! Table 1 / Table 2 expressions the measurements are compared against.
+
+pub mod cannon;
+pub mod collectives;
+pub mod costmodel;
+pub mod lu;
+pub mod machine;
+pub mod mm25d;
+pub mod model1;
+pub mod summa;
+
+pub use machine::{Machine, NodeCounters, Staging};
+pub use mm25d::{mm25d, Mm25Config};
+pub use summa::{summa, summa_l3_ool2};

@@ -1,0 +1,254 @@
+//! Event-counting distributed machine.
+//!
+//! Each node carries counters for the five boundaries of Figure 1's
+//! architecture: network send/receive (attached to L2), L3↔L2 (NVM read /
+//! NVM write), and L2↔L1. Algorithms charge counters as they move real
+//! data; [`Machine::critical_time`] folds the *maximum* per-node counters
+//! through a [`wa_core::CostParams`] — the critical-path convention of the
+//! communication-avoiding literature.
+
+use wa_core::CostParams;
+
+/// Where a node's operands live, controlling which boundaries a network
+/// transfer also crosses (paper Models 2.1 / 2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Staging {
+    /// Operands staged in L2 (DRAM): network transfers touch only L2.
+    L2,
+    /// Operands staged in L3 (NVM): every send reads L3, every receive
+    /// writes L3.
+    L3,
+}
+
+/// Per-node traffic counters (words and messages per boundary).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    pub net_send_words: u64,
+    pub net_send_msgs: u64,
+    pub net_recv_words: u64,
+    pub net_recv_msgs: u64,
+    /// L3 → L2 (NVM read).
+    pub l3_read_words: u64,
+    pub l3_read_msgs: u64,
+    /// L2 → L3 (NVM write).
+    pub l3_write_words: u64,
+    pub l3_write_msgs: u64,
+    /// L2 → L1.
+    pub l2_read_words: u64,
+    pub l2_read_msgs: u64,
+    /// L1 → L2.
+    pub l2_write_words: u64,
+    pub l2_write_msgs: u64,
+    pub flops: u64,
+}
+
+impl NodeCounters {
+    /// Interprocessor words (max of send/recv, the usual critical-path
+    /// measure for balanced algorithms).
+    pub fn net_words(&self) -> u64 {
+        self.net_send_words.max(self.net_recv_words)
+    }
+
+    /// Time under `cost` (network counted once at the max of send/recv).
+    pub fn time(&self, c: &CostParams) -> f64 {
+        let net_msgs = self.net_send_msgs.max(self.net_recv_msgs) as f64;
+        c.alpha_nw * net_msgs
+            + c.beta_nw * self.net_words() as f64
+            + c.alpha_32 * self.l3_read_msgs as f64
+            + c.beta_32 * self.l3_read_words as f64
+            + c.alpha_23 * self.l3_write_msgs as f64
+            + c.beta_23 * self.l3_write_words as f64
+            + c.alpha_21 * self.l2_read_msgs as f64
+            + c.beta_21 * self.l2_read_words as f64
+            + c.alpha_12 * self.l2_write_msgs as f64
+            + c.beta_12 * self.l2_write_words as f64
+    }
+}
+
+impl std::ops::AddAssign for NodeCounters {
+    fn add_assign(&mut self, o: NodeCounters) {
+        self.net_send_words += o.net_send_words;
+        self.net_send_msgs += o.net_send_msgs;
+        self.net_recv_words += o.net_recv_words;
+        self.net_recv_msgs += o.net_recv_msgs;
+        self.l3_read_words += o.l3_read_words;
+        self.l3_read_msgs += o.l3_read_msgs;
+        self.l3_write_words += o.l3_write_words;
+        self.l3_write_msgs += o.l3_write_msgs;
+        self.l2_read_words += o.l2_read_words;
+        self.l2_read_msgs += o.l2_read_msgs;
+        self.l2_write_words += o.l2_write_words;
+        self.l2_write_msgs += o.l2_write_msgs;
+        self.flops += o.flops;
+    }
+}
+
+/// The machine: `p` nodes of counters plus the cost parameters.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    pub cost: CostParams,
+    nodes: Vec<NodeCounters>,
+}
+
+impl Machine {
+    pub fn new(p: usize, cost: CostParams) -> Self {
+        Machine {
+            cost,
+            nodes: vec![NodeCounters::default(); p],
+        }
+    }
+
+    pub fn p(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn node(&self, i: usize) -> &NodeCounters {
+        &self.nodes[i]
+    }
+
+    pub fn node_mut(&mut self, i: usize) -> &mut NodeCounters {
+        &mut self.nodes[i]
+    }
+
+    /// Charge a point-to-point transfer of `words` from `src` to `dst`
+    /// with the given staging at each end.
+    pub fn transfer(&mut self, src: usize, dst: usize, words: u64, src_at: Staging, dst_at: Staging) {
+        {
+            let s = &mut self.nodes[src];
+            if src_at == Staging::L3 {
+                s.l3_read_words += words;
+                s.l3_read_msgs += 1;
+            }
+            s.net_send_words += words;
+            s.net_send_msgs += 1;
+        }
+        let d = &mut self.nodes[dst];
+        d.net_recv_words += words;
+        d.net_recv_msgs += 1;
+        if dst_at == Staging::L3 {
+            d.l3_write_words += words;
+            d.l3_write_msgs += 1;
+        }
+    }
+
+    /// Charge node `i` for an NVM read of `words` (L3 → L2).
+    pub fn l3_read(&mut self, i: usize, words: u64) {
+        let n = &mut self.nodes[i];
+        n.l3_read_words += words;
+        n.l3_read_msgs += 1;
+    }
+
+    /// Charge node `i` for an NVM write of `words` (L2 → L3).
+    pub fn l3_write(&mut self, i: usize, words: u64) {
+        let n = &mut self.nodes[i];
+        n.l3_write_words += words;
+        n.l3_write_msgs += 1;
+    }
+
+    /// Charge node `i` for a local GEMM of shape `m×k×l` run with the
+    /// sequential WA algorithm on an L1 of `m1` words: L2→L1 reads
+    /// `ml + 2mkl/√(M1/3)`, L1→L2 writes `ml` (Algorithm 1's counts).
+    pub fn local_wa_gemm(&mut self, i: usize, m: u64, k: u64, l: u64, m1: u64) {
+        let b = (((m1 / 3) as f64).sqrt().floor() as u64).max(1);
+        let n = &mut self.nodes[i];
+        let reads = m * l + 2 * m * k * l / b;
+        n.l2_read_words += reads;
+        n.l2_read_msgs += reads / b.max(1) + 1;
+        n.l2_write_words += m * l;
+        n.l2_write_msgs += m * l / b.max(1) + 1;
+        n.flops += 2 * m * k * l;
+    }
+
+    /// Max per-node counters (the critical-path aggregate).
+    pub fn max_counters(&self) -> NodeCounters {
+        let mut out = NodeCounters::default();
+        for n in &self.nodes {
+            out.net_send_words = out.net_send_words.max(n.net_send_words);
+            out.net_send_msgs = out.net_send_msgs.max(n.net_send_msgs);
+            out.net_recv_words = out.net_recv_words.max(n.net_recv_words);
+            out.net_recv_msgs = out.net_recv_msgs.max(n.net_recv_msgs);
+            out.l3_read_words = out.l3_read_words.max(n.l3_read_words);
+            out.l3_read_msgs = out.l3_read_msgs.max(n.l3_read_msgs);
+            out.l3_write_words = out.l3_write_words.max(n.l3_write_words);
+            out.l3_write_msgs = out.l3_write_msgs.max(n.l3_write_msgs);
+            out.l2_read_words = out.l2_read_words.max(n.l2_read_words);
+            out.l2_read_msgs = out.l2_read_msgs.max(n.l2_read_msgs);
+            out.l2_write_words = out.l2_write_words.max(n.l2_write_words);
+            out.l2_write_msgs = out.l2_write_msgs.max(n.l2_write_msgs);
+            out.flops = out.flops.max(n.flops);
+        }
+        out
+    }
+
+    /// Total counters across all nodes.
+    pub fn total_counters(&self) -> NodeCounters {
+        let mut out = NodeCounters::default();
+        for n in &self.nodes {
+            out += *n;
+        }
+        out
+    }
+
+    /// Critical-path time estimate under this machine's cost parameters.
+    pub fn critical_time(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.time(&self.cost))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_charges_both_ends() {
+        let mut m = Machine::new(4, CostParams::nvm_cluster());
+        m.transfer(0, 3, 100, Staging::L2, Staging::L3);
+        assert_eq!(m.node(0).net_send_words, 100);
+        assert_eq!(m.node(0).l3_read_words, 0);
+        assert_eq!(m.node(3).net_recv_words, 100);
+        assert_eq!(m.node(3).l3_write_words, 100);
+        assert_eq!(m.node(1).net_send_words, 0);
+    }
+
+    #[test]
+    fn l3_staged_send_reads_nvm() {
+        let mut m = Machine::new(2, CostParams::nvm_cluster());
+        m.transfer(0, 1, 50, Staging::L3, Staging::L2);
+        assert_eq!(m.node(0).l3_read_words, 50);
+        assert_eq!(m.node(1).l3_write_words, 0);
+    }
+
+    #[test]
+    fn local_gemm_matches_algorithm1_counts() {
+        let mut m = Machine::new(1, CostParams::nvm_cluster());
+        m.local_wa_gemm(0, 12, 12, 12, 48); // b = 4
+        let n = m.node(0);
+        assert_eq!(n.l2_read_words, 144 + 2 * 12 * 12 * 12 / 4);
+        assert_eq!(n.l2_write_words, 144);
+        assert_eq!(n.flops, 2 * 12 * 12 * 12);
+    }
+
+    #[test]
+    fn critical_time_is_max_not_sum() {
+        let cost = CostParams::symmetric(1.0, 0.0, 1, 2, 3);
+        let mut m = Machine::new(2, cost);
+        m.node_mut(0).net_send_words = 10;
+        m.node_mut(1).net_send_words = 30;
+        assert_eq!(m.critical_time(), 30.0);
+    }
+
+    #[test]
+    fn nvm_write_dominates_time_under_asymmetric_costs() {
+        let cost = CostParams::nvm_cluster();
+        let mut m = Machine::new(1, cost);
+        m.node_mut(0).l3_write_words = 1000;
+        let t_write = m.critical_time();
+        let mut m2 = Machine::new(1, cost);
+        m2.node_mut(0).l3_read_words = 1000;
+        let t_read = m2.critical_time();
+        assert!(t_write > 5.0 * t_read);
+    }
+}

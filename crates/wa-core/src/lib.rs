@@ -1,0 +1,31 @@
+//! # wa-core
+//!
+//! Shared foundation for the reproduction of *Write-Avoiding Algorithms*
+//! (Carson, Demmel, Grigori, Knight, Koanantakool, Schwartz, Simhadri;
+//! UCB/EECS-2015-163, IPDPS 2016).
+//!
+//! This crate contains the pieces every other crate in the workspace needs:
+//!
+//! * [`matrix`] — a small dense-matrix type with strided views, used by the
+//!   kernels in `dense`, `parallel` and `krylov`;
+//! * [`traffic`] — read/write traffic counters for a memory-hierarchy
+//!   boundary, the common currency in which all experiments report;
+//! * [`bounds`] — the paper's lower bounds: Theorem 1 (writes to fast
+//!   memory), Theorem 2 (bounded reuse precludes write-avoiding),
+//!   the classical Ω(#flops / f(M)) communication bounds for matmul,
+//!   TRSM, Cholesky, the (N,k)-body problem, FFT, and Strassen;
+//! * [`cost`] — hardware cost parameters (latency α / reciprocal bandwidth β
+//!   per boundary) used by the Section 7 performance models;
+//! * [`rng`] — a tiny deterministic xorshift generator so all crates can
+//!   build reproducible workloads without coordinating `rand` versions.
+
+pub mod bounds;
+pub mod cost;
+pub mod matrix;
+pub mod rng;
+pub mod traffic;
+
+pub use cost::CostParams;
+pub use matrix::Mat;
+pub use rng::XorShift;
+pub use traffic::{BoundaryTraffic, Traffic};

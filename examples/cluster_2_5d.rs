@@ -1,0 +1,75 @@
+//! Model 2.1 decision support: should a cluster use node-local NVM to
+//! replicate more copies in 2.5D matmul?
+//!
+//! ```sh
+//! cargo run --release --example cluster_2_5d
+//! ```
+//!
+//! Sweeps the replication factor c, runs the event simulator (with real
+//! arithmetic, verified), and evaluates the paper's decision ratio
+//! `√(c3/c2)·βNW / (βNW + 1.5β23 + β32)` across NVM write speeds.
+
+use write_avoiding::parallel::costmodel::model21_decision_ratio;
+use write_avoiding::parallel::machine::{Machine, Staging};
+use write_avoiding::parallel::mm25d::{mm25d, Mm25Config};
+use write_avoiding::wa_core::{CostParams, Mat};
+
+fn main() {
+    let n = 64;
+    let p = 64;
+    let a = Mat::random(n, n, 7);
+    let b = Mat::random(n, n, 8);
+    let want = a.matmul_ref(&b);
+
+    println!("2.5D matmul on P = {p} simulated nodes, n = {n} (counts are per-node maxima)\n");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>12}",
+        "configuration", "net words", "NVM reads", "NVM writes", "est. time(s)"
+    );
+    for (c, at) in [(1, Staging::L2), (4, Staging::L2), (4, Staging::L3), (16, Staging::L3)] {
+        let q2 = p / c;
+        let q = (q2 as f64).sqrt() as usize;
+        if q * q * c != p || n % q != 0 {
+            continue;
+        }
+        let mut m = Machine::new(p, CostParams::nvm_cluster());
+        let got = mm25d(
+            &mut m,
+            &a,
+            &b,
+            Mm25Config {
+                p,
+                c,
+                at,
+                ool2: false,
+                m2: 4 << 20,
+            },
+        );
+        assert!(got.max_abs_diff(&want) < 1e-9);
+        let mc = m.max_counters();
+        println!(
+            "{:<26} {:>10} {:>10} {:>10} {:>12.3e}",
+            format!("c = {c}, staged in {at:?}"),
+            mc.net_words(),
+            mc.l3_read_words,
+            mc.l3_write_words,
+            m.critical_time()
+        );
+    }
+
+    println!("\nDecision ratio vs NVM write bandwidth (c2 = 1, c3 = 16):");
+    println!("{:>16} {:>10}  verdict", "NVM write GB/s", "ratio");
+    for write_gbs in [0.1, 0.5, 2.0, 10.0, 40.0] {
+        let mut cp = CostParams::nvm_cluster();
+        cp.beta_23 = 8.0 / (write_gbs * 1e9);
+        let r = model21_decision_ratio(1.0, 16.0, &cp);
+        println!(
+            "{write_gbs:>16} {r:>10.3}  {}",
+            if r > 1.0 {
+                "replicate via NVM"
+            } else {
+                "stay in DRAM"
+            }
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Direct N-body: the flops-vs-writes tension of §4.4.
+//!
+//! ```sh
+//! cargo run --release --example nbody_traffic
+//! ```
+//!
+//! Runs the write-avoiding blocked (N,2)-body (Algorithm 4), the
+//! symmetry-exploiting variant (half the interactions, Θ(N²/b) writes),
+//! and the (N,3)-body kernel, with the explicit-model counters, then
+//! prices the traffic under NVM-like write costs to show when halving
+//! flops is a bad trade.
+
+use write_avoiding::memsim::ExplicitHier;
+use write_avoiding::nbody::explicit::{explicit_kbody_wa, explicit_nbody_wa};
+use write_avoiding::nbody::force::{reference_forces, Particle};
+use write_avoiding::nbody::symmetric::explicit_nbody_symmetric;
+use write_avoiding::wa_core::bounds;
+
+fn main() {
+    let n = 512;
+    let m = 96; // fast memory, in particles
+    let cloud = Particle::random_cloud(n, 7);
+    let want = reference_forces(&cloud);
+
+    println!("direct (N,2)-body, N = {n}, fast memory M = {m} particles\n");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>12}",
+        "variant", "loads", "stores", "flops", "NVM cost"
+    );
+    // Cost model: a store to NVM costs 10x a load.
+    let price = |loads: u64, stores: u64| loads as f64 + 10.0 * stores as f64;
+
+    let mut h = ExplicitHier::two_level(m as u64);
+    let f = explicit_nbody_wa(&cloud, &mut h);
+    for (a, b) in f.iter().zip(&want) {
+        assert!(a.max_abs_diff(*b) < 1e-10);
+    }
+    let t = h.traffic().boundary(0);
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>12.0}",
+        "WA (Algorithm 4)",
+        t.load_words,
+        t.store_words,
+        h.flops(),
+        price(t.load_words, t.store_words)
+    );
+
+    let mut hs = ExplicitHier::two_level(m as u64);
+    let fs = explicit_nbody_symmetric(&cloud, &mut hs);
+    for (a, b) in fs.iter().zip(&want) {
+        assert!(a.max_abs_diff(*b) < 1e-10);
+    }
+    let ts = hs.traffic().boundary(0);
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>12.0}",
+        "symmetric (Newton's 3rd)",
+        ts.load_words,
+        ts.store_words,
+        hs.flops(),
+        price(ts.load_words, ts.store_words)
+    );
+
+    println!(
+        "\nlower bounds: loads+stores >= {:.0} (Ω(N²/M)), stores >= {} (output)",
+        bounds::nbody_ldst_lower(n as u64, 2, m as u64),
+        n
+    );
+    println!("halving the flops multiplies NVM writes by ~N/b — on write-expensive memory the WA order wins.\n");
+
+    // Three-body teaser at small N (O(N³) interactions).
+    let n3 = 64;
+    let cloud3 = Particle::random_cloud(n3, 8);
+    let mut h3 = ExplicitHier::two_level(64);
+    let _ = explicit_kbody_wa(&cloud3, &mut h3);
+    let t3 = h3.traffic().boundary(0);
+    println!(
+        "(N,3)-body, N = {n3}: loads = {} (Ω(N³/M²) = {:.0}), stores = {} = N",
+        t3.load_words,
+        bounds::nbody_ldst_lower(n3 as u64, 3, 64),
+        t3.store_words
+    );
+}

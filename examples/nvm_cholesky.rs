@@ -1,0 +1,80 @@
+//! NVM scenario: factorizing a matrix whose home is a nonvolatile memory
+//! with asymmetric read/write cost — the paper's motivating setting.
+//!
+//! ```sh
+//! cargo run --release --example nvm_cholesky
+//! ```
+//!
+//! Runs left-looking (write-avoiding) and right-looking Cholesky through
+//! the cache simulator and prices the resulting DRAM/NVM traffic with
+//! asymmetric costs (reading NVM ~DRAM-speed, writing ~10× slower),
+//! showing when instruction order alone changes the energy/time story.
+
+use write_avoiding::dense::cholesky::{blocked_cholesky, CholVariant};
+use write_avoiding::dense::desc::alloc_layout;
+use write_avoiding::memsim::{CacheConfig, MemSim, Policy, SimMem};
+use write_avoiding::wa_core::Mat;
+
+fn main() {
+    let n = 192;
+    let bsize = 16;
+    // The "cache" is DRAM here; the backing store is NVM.
+    let dram_words = 5 * bsize * bsize + 8;
+    let cfg = CacheConfig {
+        capacity_words: dram_words,
+        line_words: 8,
+        ways: 0,
+        policy: Policy::Lru,
+    };
+    // Costs per line moved (arbitrary energy units): NVM reads cheap,
+    // NVM writes 10x.
+    let (read_cost, write_cost) = (1.0, 10.0);
+
+    let a = Mat::random_spd(n, 42);
+    println!("Cholesky of a {n}x{n} SPD matrix, DRAM = {dram_words} words, NVM write/read cost = {write_cost}/{read_cost}\n");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>10}",
+        "variant", "NVM reads", "NVM writes", "energy", "vs LL"
+    );
+
+    let mut baseline = None;
+    for (name, v) in [
+        ("left-looking (Algorithm 3)", CholVariant::LeftLooking),
+        ("right-looking", CholVariant::RightLooking),
+    ] {
+        let (d, words) = alloc_layout(&[(n, n)]);
+        let mut mem = SimMem::new(words, MemSim::two_level(cfg));
+        d[0].store_mat(&mut mem, &a);
+        let data = std::mem::take(&mut mem.data);
+        let mut mem = SimMem::from_vec(data, MemSim::two_level(cfg));
+        blocked_cholesky(&mut mem, d[0], bsize, v);
+        mem.sim.flush();
+
+        // Verify the factorization before trusting the counters.
+        let l = d[0].load_mat(&mut mem).lower_triangular();
+        let err = l.matmul_ref(&l.transpose()).max_abs_diff(&{
+            let mut full = a.clone();
+            for i in 0..n {
+                for j in i + 1..n {
+                    full[(i, j)] = full[(j, i)];
+                }
+            }
+            full
+        });
+        assert!(err < 1e-6 * n as f64, "factorization error {err}");
+
+        let c = mem.sim.llc();
+        let reads = c.fills;
+        let writes = c.victims_m + c.flush_victims_m;
+        let energy = reads as f64 * read_cost + writes as f64 * write_cost;
+        let rel = match baseline {
+            None => {
+                baseline = Some(energy);
+                1.0
+            }
+            Some(b) => energy / b,
+        };
+        println!("{name:<28} {reads:>12} {writes:>12} {energy:>12.0} {rel:>9.2}x");
+    }
+    println!("\nSame flops, same result — the left-looking order avoids rewriting the trailing matrix to NVM.");
+}

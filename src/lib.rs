@@ -1,0 +1,10 @@
+//! Umbrella crate re-exporting the write-avoiding workspace members so the
+//! examples and integration tests can use a single dependency.
+pub use cdag;
+pub use dense;
+pub use extsort;
+pub use krylov;
+pub use memsim;
+pub use nbody;
+pub use parallel;
+pub use wa_core;

@@ -1,0 +1,130 @@
+//! Integration: every parallel algorithm computes the same answer as the
+//! sequential references, and the measured traffic sits on the right side
+//! of the Section 7 bounds.
+
+use write_avoiding::dense::desc::alloc_layout;
+use write_avoiding::dense::lu::{blocked_lu, LuVariant};
+use write_avoiding::memsim::RawMem;
+use write_avoiding::parallel::cannon::cannon;
+use write_avoiding::parallel::lu::{parallel_lu, LunpVariant};
+use write_avoiding::parallel::machine::{Machine, Staging};
+use write_avoiding::parallel::mm25d::{mm25d, Mm25Config};
+use write_avoiding::parallel::summa::{summa, summa_l3_ool2};
+use write_avoiding::wa_core::{bounds, CostParams, Mat};
+
+#[test]
+fn all_parallel_matmuls_agree_with_reference() {
+    let n = 36;
+    let a = Mat::random(n, n, 1);
+    let b = Mat::random(n, n, 2);
+    let want = a.matmul_ref(&b);
+
+    let mut m = Machine::new(9, CostParams::nvm_cluster());
+    assert!(summa(&mut m, &a, &b, 3, 6, Staging::L2).max_abs_diff(&want) < 1e-10);
+
+    let mut m = Machine::new(9, CostParams::nvm_cluster());
+    assert!(cannon(&mut m, &a, &b, 3, Staging::L2).max_abs_diff(&want) < 1e-10);
+
+    let mut m = Machine::new(9, CostParams::nvm_cluster());
+    assert!(summa_l3_ool2(&mut m, &a, &b, 3, 48).max_abs_diff(&want) < 1e-10);
+
+    for (p, c) in [(9usize, 1usize), (18, 2)] {
+        let q = ((p / c) as f64).sqrt().round() as usize;
+        if q * q * c != p || n % q != 0 {
+            continue;
+        }
+        let mut m = Machine::new(p, CostParams::nvm_cluster());
+        let got = mm25d(
+            &mut m,
+            &a,
+            &b,
+            Mm25Config {
+                p,
+                c,
+                at: Staging::L3,
+                ool2: false,
+                m2: 48,
+            },
+        );
+        assert!(got.max_abs_diff(&want) < 1e-10, "p={p} c={c}");
+    }
+}
+
+#[test]
+fn parallel_lu_matches_sequential_blocked_lu() {
+    let n = 32;
+    let mut a0 = Mat::random(n, n, 3);
+    for i in 0..n {
+        a0[(i, i)] = a0[(i, i)].abs() + n as f64;
+    }
+    // Sequential reference via the dense crate.
+    let (d, words) = alloc_layout(&[(n, n)]);
+    let mut mem = RawMem::new(words);
+    d[0].store_mat(&mut mem, &a0);
+    blocked_lu(&mut mem, d[0], 4, LuVariant::RightLooking);
+    let seq = d[0].load_mat(&mut mem);
+
+    for v in [LunpVariant::LeftLooking, LunpVariant::RightLooking] {
+        let mut a = a0.clone();
+        let mut m = Machine::new(16, CostParams::nvm_cluster());
+        parallel_lu(&mut m, &mut a, 4, v);
+        assert!(
+            a.max_abs_diff(&seq) < 1e-9,
+            "{v:?} differs from sequential by {}",
+            a.max_abs_diff(&seq)
+        );
+    }
+}
+
+#[test]
+fn interprocessor_words_respect_w2_bound() {
+    // The CA lower bound W2 = n²/√(Pc) must undercut any correct run.
+    let n = 64;
+    let p = 16;
+    let a = Mat::random(n, n, 4);
+    let b = Mat::random(n, n, 5);
+    let mut m = Machine::new(p, CostParams::nvm_cluster());
+    let _ = summa(&mut m, &a, &b, 4, 16, Staging::L2);
+    let w2 = bounds::parallel_matmul_bounds(n as u64, p as u64, 1, 1024).w2_interproc_words;
+    let measured = m.max_counters().net_recv_words as f64;
+    assert!(
+        measured >= 0.9 * w2,
+        "measured {measured} below the W2 bound {w2}?!"
+    );
+}
+
+#[test]
+fn theorem4_no_algorithm_attains_both_bounds() {
+    // Directly check both Model 2.2 algorithms against W1 and W2.
+    let n = 48;
+    let p = 16;
+    let a = Mat::random(n, n, 6);
+    let b = Mat::random(n, n, 7);
+    let w1 = (n * n / p) as u64;
+    let w2 = ((n * n) as f64 / (p as f64).sqrt()) as u64;
+
+    let mut mo = Machine::new(p, CostParams::nvm_cluster());
+    let _ = mm25d(
+        &mut mo,
+        &a,
+        &b,
+        Mm25Config {
+            p,
+            c: 1,
+            at: Staging::L3,
+            ool2: true,
+            m2: 48,
+        },
+    );
+    let ool2 = mo.max_counters();
+    let mut ms = Machine::new(p, CostParams::nvm_cluster());
+    let _ = summa_l3_ool2(&mut ms, &a, &b, 4, 48);
+    let sm = ms.max_counters();
+
+    // ooL2 2.5D: near-W2 network, far-above-W1 writes.
+    assert!(ool2.net_recv_words < 4 * w2);
+    assert!(ool2.l3_write_words > 2 * w1);
+    // SUMMA: exactly-W1 writes, far-above-W2 network.
+    assert_eq!(sm.l3_write_words, w1);
+    assert!(sm.net_recv_words > 2 * w2);
+}

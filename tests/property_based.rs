@@ -1,0 +1,164 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use write_avoiding::dense::desc::alloc_layout;
+use write_avoiding::dense::matmul::{blocked_matmul, co_matmul, LoopOrder};
+use write_avoiding::dense::trsm::{blocked_trsm, TrsmVariant};
+use write_avoiding::memsim::ideal::simulate_belady;
+use write_avoiding::memsim::mem::Access;
+use write_avoiding::memsim::{CacheConfig, Mem, MemSim, Policy, RawMem, SimMem};
+use write_avoiding::wa_core::Mat;
+
+fn order_strategy() -> impl Strategy<Value = LoopOrder> {
+    prop::sample::select(LoopOrder::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every loop order and block size computes the same product.
+    #[test]
+    fn blocked_matmul_correct_for_all_shapes(
+        m in 1usize..20,
+        n in 1usize..20,
+        l in 1usize..20,
+        bsize in 1usize..9,
+        order in order_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let a = Mat::random(m, n, seed);
+        let b = Mat::random(n, l, seed + 1);
+        let (d, words) = alloc_layout(&[(m, n), (n, l), (m, l)]);
+        let mut mem = RawMem::new(words);
+        d[0].store_mat(&mut mem, &a);
+        d[1].store_mat(&mut mem, &b);
+        blocked_matmul(&mut mem, d[0], d[1], d[2], bsize, order);
+        let got = d[2].load_mat(&mut mem);
+        prop_assert!(got.max_abs_diff(&a.matmul_ref(&b)) < 1e-9);
+    }
+
+    /// Cache-oblivious recursion agrees with the blocked algorithm.
+    #[test]
+    fn co_matmul_matches_blocked(
+        n in 1usize..24,
+        base in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let a = Mat::random(n, n, seed);
+        let b = Mat::random(n, n, seed + 9);
+        let (d, words) = alloc_layout(&[(n, n), (n, n), (n, n)]);
+        let mut mem = RawMem::new(words);
+        d[0].store_mat(&mut mem, &a);
+        d[1].store_mat(&mut mem, &b);
+        co_matmul(&mut mem, d[0], d[1], d[2], base);
+        let got = d[2].load_mat(&mut mem);
+        prop_assert!(got.max_abs_diff(&a.matmul_ref(&b)) < 1e-9);
+    }
+
+    /// TRSM actually solves the system for both variants.
+    #[test]
+    fn trsm_residual_is_small(
+        nb in 1usize..5,
+        rhs_cols in 1usize..12,
+        right_looking in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let n = nb * 4;
+        let t = Mat::random_upper_triangular(n, seed);
+        let x = Mat::random(n, rhs_cols, seed + 1);
+        let b = t.matmul_ref(&x);
+        let (d, words) = alloc_layout(&[(n, n), (n, rhs_cols)]);
+        let mut mem = RawMem::new(words);
+        d[0].store_mat(&mut mem, &t);
+        d[1].store_mat(&mut mem, &b);
+        let v = if right_looking { TrsmVariant::RightLooking } else { TrsmVariant::WriteAvoiding };
+        blocked_trsm(&mut mem, d[0], d[1], 4, v);
+        let got = d[1].load_mat(&mut mem);
+        prop_assert!(got.max_abs_diff(&x) < 1e-7);
+    }
+
+    /// Belady is optimal: never more misses than LRU on any trace.
+    #[test]
+    fn belady_never_beaten_by_lru(
+        trace_spec in prop::collection::vec((0usize..512, any::<bool>()), 1..400),
+        cap_lines in 2usize..16,
+    ) {
+        let trace: Vec<Access> = trace_spec
+            .iter()
+            .map(|&(addr, is_write)| Access { addr, is_write })
+            .collect();
+        let bel = simulate_belady(&trace, cap_lines, 8);
+        let mut lru = MemSim::two_level(CacheConfig {
+            capacity_words: cap_lines * 8,
+            line_words: 8,
+            ways: 0,
+            policy: Policy::Lru,
+        });
+        for a in &trace {
+            if a.is_write { lru.write(a.addr) } else { lru.read(a.addr) }
+        }
+        prop_assert!(bel.misses <= lru.llc().misses);
+        // Conservation on both: hits + misses = accesses.
+        prop_assert_eq!(bel.hits + bel.misses, trace.len() as u64);
+        let c = lru.llc();
+        prop_assert_eq!(c.hits + c.misses, trace.len() as u64);
+    }
+
+    /// Cache-simulator conservation laws on random access streams:
+    /// fills = misses (write-allocate), victims <= fills, and dirty
+    /// write-backs never exceed the number of written lines.
+    #[test]
+    fn simulator_conservation_laws(
+        trace_spec in prop::collection::vec((0usize..2048, any::<bool>()), 1..600),
+        cap_lines in 2usize..32,
+    ) {
+        let cfg = CacheConfig {
+            capacity_words: cap_lines * 8,
+            line_words: 8,
+            ways: 0,
+            policy: Policy::Lru,
+        };
+        let mut sim = MemSim::two_level(cfg);
+        let mut written_lines = std::collections::HashSet::new();
+        for &(addr, is_write) in &trace_spec {
+            if is_write {
+                sim.write(addr);
+                written_lines.insert(addr / 8);
+            } else {
+                sim.read(addr);
+            }
+        }
+        sim.flush();
+        let c = sim.llc();
+        prop_assert_eq!(c.fills, c.misses);
+        prop_assert!(c.victims() <= c.fills);
+        prop_assert!(sim.dram_writes_lines <= c.fills);
+        // Every DRAM write-back corresponds to a line that was written.
+        prop_assert!(sim.dram_writes_lines <= written_lines.len() as u64 * (1 + c.fills / cap_lines as u64));
+        prop_assert_eq!(sim.dram_reads_lines, c.fills);
+    }
+
+    /// SimMem and RawMem are observationally identical on the data plane.
+    #[test]
+    fn sim_and_raw_memories_agree(
+        ops in prop::collection::vec((0usize..256, -100.0f64..100.0, any::<bool>()), 1..200),
+    ) {
+        let cfg = CacheConfig {
+            capacity_words: 64,
+            line_words: 8,
+            ways: 0,
+            policy: Policy::Lru,
+        };
+        let mut raw = RawMem::new(256);
+        let mut sim = SimMem::new(256, MemSim::two_level(cfg));
+        for &(addr, val, is_write) in &ops {
+            if is_write {
+                raw.st(addr, val);
+                sim.st(addr, val);
+            } else {
+                prop_assert_eq!(raw.ld(addr), sim.ld(addr));
+            }
+        }
+        prop_assert_eq!(raw.data, sim.data);
+    }
+}
