@@ -112,7 +112,15 @@ fn bench_belady(c: &mut Criterion) {
     d[0].store_mat(&mut tm, &Mat::random(n, n, 1));
     d[1].store_mat(&mut tm, &Mat::random(n, n, 2));
     tm.trace.clear();
-    ml_matmul(&mut tm, d[0], d[1], d[2], &[16], RecOrder::COuter, RecOrder::COuter);
+    ml_matmul(
+        &mut tm,
+        d[0],
+        d[1],
+        d[2],
+        &[16],
+        RecOrder::COuter,
+        RecOrder::COuter,
+    );
     let trace: Vec<Access> = tm.trace;
     g.throughput(Throughput::Elements(trace.len() as u64));
     g.bench_function("offline_min", |b| {

@@ -1,9 +1,9 @@
 //! FFT and Strassen benches — the Section 3 "no WA schedule exists"
 //! algorithms at wall-clock, next to the WA classical matmul.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cdag::fft::fft_mem;
 use cdag::strassen::{strassen_mem, strassen_scratch_words};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dense::desc::alloc_layout;
 use dense::matmul::{blocked_matmul, LoopOrder};
 use memsim::{Mem, RawMem};

@@ -25,25 +25,29 @@ fn bench_solvers(c: &mut Criterion) {
         });
     });
     for (name, streaming) in [("cacg_storing", false), ("cacg_streaming", true)] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &streaming, |bch, &streaming| {
-            bch.iter(|| {
-                let mut io = IoTally::default();
-                ca_cg(
-                    &a,
-                    &b,
-                    &x0,
-                    &CaCgOptions {
-                        s,
-                        streaming,
-                        tol: 1e-30,
-                        max_outer: outers,
-                        block_rows: 4 * nx,
-                        ..Default::default()
-                    },
-                    &mut io,
-                )
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &streaming,
+            |bch, &streaming| {
+                bch.iter(|| {
+                    let mut io = IoTally::default();
+                    ca_cg(
+                        &a,
+                        &b,
+                        &x0,
+                        &CaCgOptions {
+                            s,
+                            streaming,
+                            tol: 1e-30,
+                            max_outer: outers,
+                            block_rows: 4 * nx,
+                            ..Default::default()
+                        },
+                        &mut io,
+                    )
+                });
+            },
+        );
     }
     g.finish();
 }

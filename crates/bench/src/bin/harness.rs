@@ -1,43 +1,261 @@
-//! Experiment harness: regenerates every table and figure of the paper.
+//! Registry-driven experiment harness.
 //!
 //! ```text
-//! harness <command> [--scale small|paper]
+//! harness list [--json]
+//!     Enumerate every registered workload (name, group, backends).
 //!
-//! commands:
-//!   fig2        Figure 2 panels (L3 counters, matmul variants)
-//!   fig5        Figure 5 (multi-level vs slab order × block sizes)
-//!   lru-props   Propositions 6.1/6.2 (exact LRU write-backs)
-//!   table1      Table 1 cost model (Model 2.1)
-//!   table2      Table 2 cost model + measured comparison (Model 2.2)
-//!   theorem4    Theorem 4 trade-off, measured
-//!   lu-parallel LL-LUNP vs RL-LUNP (§7.2)
-//!   ksm         CG vs CA-CG vs streaming CA-CG writes (§8)
-//!   bounds      Corollaries 2/3 and Theorem 1 checks
-//!   wa-optimal  Explicit-model write optimality of Algorithms 1–4
-//!   sorting     §9 sorting conjecture: merge sort vs low-write selection
-//!   model1      §7 Model 1: the Θ(√P) local-write gap and its memory price
-//!   all         everything above
+//! harness run <workload> [--backend B] [--scale S] [--json]
+//!     Execute one workload on one backend and print its RunReport.
+//!     B: raw | simmed | traced | explicit (default: the workload's first
+//!     declared backend). S: small | paper (default small).
+//!
+//! harness sweep [--group G] [--backend B] [--scale S] [--threads N] [--json]
+//!     Run every (workload, backend) scenario — optionally filtered by
+//!     group or backend — in parallel across N worker threads (default:
+//!     available parallelism). `--json` emits a JSON array of RunReports.
+//!
+//! harness exp <command> [--scale small|paper] [--policy P]
+//!     The paper-artifact reproductions (figures/tables); `exp all` runs
+//!     everything. Commands: fig2 fig5 lru-props table1 table2 theorem4
+//!     lu-parallel ksm bounds wa-optimal sorting model1.
 //! ```
+//!
+//! Every `--json` report uses the stable [`wa_core::report::RunReport`]
+//! schema regardless of backend, so explicit-vs-simulated comparisons are
+//! a diff of two JSON documents.
 
-use wa_bench::scale::{Repl, Scale};
-use parallel;
+use wa_bench::registry::registry;
+use wa_bench::scale::Repl;
 use wa_bench::{bounds_exp, fig2, fig5, ksm, lu_par, props, sorting, tables, theorem4, waopt};
-use wa_core::CostParams;
+use wa_core::engine::{BackendKind, Workload};
+use wa_core::par::{default_threads, par_map};
+use wa_core::{CostParams, Registry, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let rest = &args[1.min(args.len())..];
+    match cmd {
+        "list" => list(&registry(), has_flag(rest, "--json")),
+        "run" => run(&registry(), rest),
+        "sweep" => sweep(&registry(), rest),
+        "exp" => exp(rest),
+        "help" | "--help" | "-h" => usage(0),
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage(2);
+        }
+    }
+}
+
+fn usage(code: i32) -> ! {
+    eprintln!(
+        "usage:\n  harness list [--json]\n  harness run <workload> [--backend B] [--scale S] [--json]\n  harness sweep [--group G] [--backend B] [--scale S] [--threads N] [--json]\n  harness exp <command> [--scale small|paper] [--policy P]   (exp all = every paper artifact)"
+    );
+    std::process::exit(code);
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_scale(args: &[String]) -> Scale {
+    match flag_value(args, "--scale") {
+        None => Scale::Small,
+        Some(s) => Scale::parse(s).unwrap_or_else(|| {
+            eprintln!("bad --scale `{s}` (small | paper)");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn parse_backend(args: &[String]) -> Option<BackendKind> {
+    flag_value(args, "--backend").map(|s| {
+        BackendKind::parse(s).unwrap_or_else(|| {
+            eprintln!("bad --backend `{s}` (raw | simmed | traced | explicit)");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn list(reg: &Registry, json: bool) {
+    if json {
+        let mut s = String::from("[");
+        for (i, w) in reg.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let backends: Vec<String> = w
+                .backends()
+                .iter()
+                .map(|b| format!("\"{}\"", b.as_str()))
+                .collect();
+            s.push_str(&format!(
+                "{{\"name\":\"{}\",\"group\":\"{}\",\"backends\":[{}],\"description\":\"{}\"}}",
+                w.name(),
+                w.group(),
+                backends.join(","),
+                w.description().replace('\\', "\\\\").replace('"', "\\\"")
+            ));
+        }
+        s.push(']');
+        println!("{s}");
+        return;
+    }
+    println!(
+        "{:<18} {:<9} {:<28} description",
+        "workload", "group", "backends"
+    );
+    for w in reg.iter() {
+        let backends: Vec<&str> = w.backends().iter().map(|b| b.as_str()).collect();
+        println!(
+            "{:<18} {:<9} {:<28} {}",
+            w.name(),
+            w.group(),
+            backends.join(","),
+            w.description()
+        );
+    }
+    println!("\n{} workloads registered", reg.len());
+}
+
+fn run(reg: &Registry, args: &[String]) {
+    let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("`harness run` needs a workload name (see `harness list`)");
+        std::process::exit(2);
+    };
+    let Some(w) = reg.get(name) else {
+        eprintln!("unknown workload `{name}` (see `harness list`)");
+        std::process::exit(2);
+    };
+    let backend = parse_backend(args).unwrap_or_else(|| w.backends()[0]);
+    let scale = parse_scale(args);
+    match w.run(backend, scale) {
+        Ok(report) => {
+            if has_flag(args, "--json") {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// One (workload, backend) scenario of a sweep.
+struct Scenario<'a> {
+    workload: &'a dyn Workload,
+    backend: BackendKind,
+}
+
+fn sweep(reg: &Registry, args: &[String]) {
+    let scale = parse_scale(args);
+    let only_backend = parse_backend(args);
+    let only_group = flag_value(args, "--group");
+    let json = has_flag(args, "--json");
+
+    let scenarios: Vec<Scenario> = reg
+        .iter()
+        .filter(|w| only_group.is_none_or(|g| w.group() == g))
+        .flat_map(|w| {
+            w.backends()
+                .iter()
+                .filter(|b| only_backend.is_none_or(|ob| ob == **b))
+                .map(move |&backend| Scenario {
+                    workload: w,
+                    backend,
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    if scenarios.is_empty() {
+        eprintln!("no scenarios match the given filters");
+        std::process::exit(2);
+    }
+
+    let threads = match flag_value(args, "--threads") {
+        None => default_threads(scenarios.len()),
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --threads `{s}` (expected a positive integer)");
+            std::process::exit(2);
+        }),
+    };
+    eprintln!(
+        "sweeping {} scenarios at scale {} on {} threads",
+        scenarios.len(),
+        scale,
+        threads
+    );
+
+    let results = par_map(&scenarios, threads, |s| {
+        (
+            s.workload.name(),
+            s.backend,
+            s.workload.run(s.backend, scale),
+        )
+    });
+
+    let mut failures = 0usize;
+    if json {
+        let mut out = String::from("[");
+        let mut first = true;
+        for (name, backend, res) in &results {
+            match res {
+                Ok(r) => {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str(&r.to_json());
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("FAIL {name} on {backend}: {e}");
+                }
+            }
+        }
+        out.push(']');
+        println!("{out}");
+    } else {
+        for (name, backend, res) in &results {
+            match res {
+                Ok(r) => print!("{}", r.render_text()),
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("FAIL {name} on {backend}: {e}");
+                }
+            }
+        }
+        println!(
+            "sweep complete: {} ok, {} failed",
+            results.len() - failures,
+            failures
+        );
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// The legacy paper-artifact commands, verbatim from the pre-registry
+/// dispatcher (they print hand-formatted tables rather than RunReports).
+fn exp(args: &[String]) {
     let cmd = args.first().map(String::as_str).unwrap_or("all");
-    let scale = args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| Scale::parse(s))
-        .unwrap_or(Scale::Small);
-    let repl = args
-        .iter()
-        .position(|a| a == "--policy")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| Repl::parse(s))
+    let scale = flag_value(args, "--scale")
+        .and_then(wa_bench::scale::Scale::parse)
+        .unwrap_or(wa_bench::scale::Scale::Small);
+    let repl = flag_value(args, "--policy")
+        .and_then(Repl::parse)
         .unwrap_or(Repl::FaLru);
 
     let run = |c: &str| match c {
@@ -74,14 +292,26 @@ fn main() {
             let (_, step) = summa_local_wa(&mut m1, &a, &b, q, 1 << 20);
             let mut m2 = Machine::new(q * q, CostParams::nvm_cluster());
             let (_, hoard) = summa_hoarded(&mut m2, &a, &b, q, 1 << 20);
-            println!("\n== Model 1 (n={n}, P={}): writes to L2 from L1 vs W1 ==", q * q);
-            println!("{:<22} {:>12} {:>8} {:>14}", "variant", "L1->L2 words", "W1", "L2 words needed");
-            println!("{:<22} {:>12} {:>8} {:>14}", "SUMMA + local WA", step.l2_writes_from_l1, step.w1, step.l2_capacity_needed);
-            println!("{:<22} {:>12} {:>8} {:>14}", "SUMMA hoarded panels", hoard.l2_writes_from_l1, hoard.w1, hoard.l2_capacity_needed);
+            println!(
+                "\n== Model 1 (n={n}, P={}): writes to L2 from L1 vs W1 ==",
+                q * q
+            );
+            println!(
+                "{:<22} {:>12} {:>8} {:>14}",
+                "variant", "L1->L2 words", "W1", "L2 words needed"
+            );
+            println!(
+                "{:<22} {:>12} {:>8} {:>14}",
+                "SUMMA + local WA", step.l2_writes_from_l1, step.w1, step.l2_capacity_needed
+            );
+            println!(
+                "{:<22} {:>12} {:>8} {:>14}",
+                "SUMMA hoarded panels", hoard.l2_writes_from_l1, hoard.w1, hoard.l2_capacity_needed
+            );
             println!("the bound is attainable only with ~sqrt(P) times the L2 capacity (paper: 'likely not realistic')");
         }
         other => {
-            eprintln!("unknown command `{other}`; see the harness docs");
+            eprintln!("unknown experiment `{other}`; see `harness help`");
             std::process::exit(2);
         }
     };

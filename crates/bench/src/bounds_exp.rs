@@ -76,7 +76,14 @@ pub fn strassen_table(sizes: &[usize], m: usize) {
         let data2 = std::mem::take(&mut mem2.data);
         let mut mem2 = SimMem::from_vec(data2, MemSim::two_level(cache(m)));
         let b = ((m / 3) as f64).sqrt() as usize;
-        dense::matmul::blocked_matmul(&mut mem2, d2[0], d2[1], d2[2], b, dense::matmul::LoopOrder::Ijk);
+        dense::matmul::blocked_matmul(
+            &mut mem2,
+            d2[0],
+            d2[1],
+            d2[2],
+            b,
+            dense::matmul::LoopOrder::Ijk,
+        );
         mem2.sim.flush();
         let cw = mem2.sim.llc();
         let wa_writes = (cw.victims_m + cw.flush_victims_m) * 8;
@@ -92,7 +99,13 @@ pub fn strassen_table(sizes: &[usize], m: usize) {
     }
     print_table(
         &format!("Corollary 3: Strassen vs WA classical (M = {m} words; counts in words)"),
-        &["n", "Strassen writes", "Strassen write L.B.", "WA classical writes", "output size"],
+        &[
+            "n",
+            "Strassen writes",
+            "Strassen write L.B.",
+            "WA classical writes",
+            "output size",
+        ],
         &rows,
     );
 }
@@ -107,28 +120,50 @@ pub fn theorem1_table() {
     let b = Mat::random(24, 24, 2);
     let mut c = Mat::zeros(24, 24);
     let mut h = ExplicitHier::two_level(48);
-    dense::explicit_mm::explicit_mm_two_level(&a, &b, &mut c, &mut h, dense::matmul::LoopOrder::Ijk);
+    dense::explicit_mm::explicit_mm_two_level(
+        &a,
+        &b,
+        &mut c,
+        &mut h,
+        dense::matmul::LoopOrder::Ijk,
+    );
     let (wf, tot) = h.theorem1_check(0);
-    rows.push(vec!["matmul (WA)".to_string(), wf.to_string(), tot.to_string()]);
+    rows.push(vec![
+        "matmul (WA)".to_string(),
+        wf.to_string(),
+        tot.to_string(),
+    ]);
 
     let t = Mat::random_upper_triangular(24, 3);
     let mut bb = Mat::random(24, 24, 4);
     let mut h = ExplicitHier::two_level(48);
     dense::explicit_trsm::explicit_trsm_wa(&t, &mut bb, &mut h);
     let (wf, tot) = h.theorem1_check(0);
-    rows.push(vec!["TRSM (WA)".to_string(), wf.to_string(), tot.to_string()]);
+    rows.push(vec![
+        "TRSM (WA)".to_string(),
+        wf.to_string(),
+        tot.to_string(),
+    ]);
 
     let mut spd = Mat::random_spd(24, 5);
     let mut h = ExplicitHier::two_level(48);
     dense::explicit_cholesky::explicit_cholesky_ll(&mut spd, &mut h);
     let (wf, tot) = h.theorem1_check(0);
-    rows.push(vec!["Cholesky (LL)".to_string(), wf.to_string(), tot.to_string()]);
+    rows.push(vec![
+        "Cholesky (LL)".to_string(),
+        wf.to_string(),
+        tot.to_string(),
+    ]);
 
     let cloud = nbody::force::Particle::random_cloud(64, 6);
     let mut h = ExplicitHier::two_level(12);
     let _ = nbody::explicit::explicit_nbody_wa(&cloud, &mut h);
     let (wf, tot) = h.theorem1_check(0);
-    rows.push(vec!["N-body (WA)".to_string(), wf.to_string(), tot.to_string()]);
+    rows.push(vec![
+        "N-body (WA)".to_string(),
+        wf.to_string(),
+        tot.to_string(),
+    ]);
 
     print_table(
         "Theorem 1: writes to fast memory ≥ (loads+stores)/2",

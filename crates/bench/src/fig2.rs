@@ -88,7 +88,14 @@ pub fn run_panel(scale: Scale, variant: Fig2Variant, repl: Repl) -> Vec<Fig2Row>
 
 /// Print one panel in the paper's layout.
 pub fn print_panel(title: &str, rows: &[Fig2Row]) {
-    let header = ["m", "L3_VICTIMS.M", "L3_VICTIMS.E", "LLC_S_FILLS.E", "Write L.B.", "Ideal misses"];
+    let header = [
+        "m",
+        "L3_VICTIMS.M",
+        "L3_VICTIMS.E",
+        "LLC_S_FILLS.E",
+        "Write L.B.",
+        "Ideal misses",
+    ];
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -84,7 +84,13 @@ pub fn run_figure(scale: Scale, repl: Repl) {
                 .collect();
             print_table(
                 &format!("Fig 5: {name}, L3 block {b3} (paper {label})"),
-                &["m", "L3_VICTIMS.M", "L3_VICTIMS.E", "LLC_S_FILLS.E", "Write L.B."],
+                &[
+                    "m",
+                    "L3_VICTIMS.M",
+                    "L3_VICTIMS.E",
+                    "LLC_S_FILLS.E",
+                    "Write L.B.",
+                ],
                 &body,
             );
         }
@@ -104,9 +110,9 @@ mod tests {
         let blocks = scale.l3_blocks();
         let big = blocks.last().unwrap().0; // ~3 blocks fit
         let small = blocks[0].0; // ~6.4 blocks fit
-        // Needs several top-level shared-dimension blocks so that a C
-        // block must survive from one J step to the next (the LRU
-        // priority effect of Fig 3 only matters then).
+                                 // Needs several top-level shared-dimension blocks so that a C
+                                 // block must survive from one J step to the next (the LRU
+                                 // priority effect of Fig 3 only matters then).
         let m = 256;
         let repl = Repl::FaLru;
 

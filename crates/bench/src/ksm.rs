@@ -85,7 +85,15 @@ pub fn run(nx: usize, s: usize, outers: usize) {
         .collect();
     print_table(
         &format!("KSM writes (2-D 5-point stencil, {nx}×{nx}, s={s}, {outers} outer iters)"),
-        &["method", "steps", "writes", "writes/step/n", "reads", "flops", "residual"],
+        &[
+            "method",
+            "steps",
+            "writes",
+            "writes/step/n",
+            "reads",
+            "flops",
+            "residual",
+        ],
         &body,
     );
     println!("paper §8: streaming reduces writes by Θ(s) for ≤2× reads/flops");

@@ -17,6 +17,7 @@ pub mod fig5;
 pub mod ksm;
 pub mod lu_par;
 pub mod props;
+pub mod registry;
 pub mod scale;
 pub mod sorting;
 pub mod tables;

@@ -32,7 +32,13 @@ pub fn run(n: usize, p: usize, b: usize) {
     }
     print_table(
         &format!("LU without pivoting (n={n}, P={p}, block {b}; per-node words)"),
-        &["algorithm", "network", "NVM reads", "NVM writes", "est. time"],
+        &[
+            "algorithm",
+            "network",
+            "NVM reads",
+            "NVM writes",
+            "est. time",
+        ],
         &rows,
     );
     println!(

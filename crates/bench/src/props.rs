@@ -47,7 +47,15 @@ pub fn run_all(n: usize, b: usize) -> Vec<PropRow> {
         d[1].store_mat(&mut mem, &Mat::random(n, n, 2));
         let data = std::mem::take(&mut mem.data);
         let mut mem = SimMem::from_vec(data, MemSim::two_level(cfg));
-        ml_matmul(&mut mem, d[0], d[1], d[2], &[b], RecOrder::COuter, RecOrder::COuter);
+        ml_matmul(
+            &mut mem,
+            d[0],
+            d[1],
+            d[2],
+            &[b],
+            RecOrder::COuter,
+            RecOrder::COuter,
+        );
         mem.sim.flush();
         let c = mem.sim.llc();
         rows.push(PropRow {
@@ -89,7 +97,12 @@ pub fn run_all(n: usize, b: usize) -> Vec<PropRow> {
         d[0].store_mat(&mut mem, &a);
         let data = std::mem::take(&mut mem.data);
         let mut mem = SimMem::from_vec(data, MemSim::two_level(cfg));
-        dense::cholesky::blocked_cholesky(&mut mem, d[0], b, dense::cholesky::CholVariant::LeftLooking);
+        dense::cholesky::blocked_cholesky(
+            &mut mem,
+            d[0],
+            b,
+            dense::cholesky::CholVariant::LeftLooking,
+        );
         mem.sim.flush();
         let c = mem.sim.llc();
         rows.push(PropRow {

@@ -1,0 +1,41 @@
+//! The workspace-wide [`Registry`]: every algorithm crate contributes its
+//! workload registrations here, and the `harness` binary (plus the
+//! cross-model integration tests) drive them through one uniform surface.
+
+use wa_core::Registry;
+
+/// Build the full registry. Registration order groups by crate; names are
+/// unique workspace-wide (the registry panics on a duplicate).
+pub fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.register_all(dense::workloads::workloads());
+    r.register_all(cdag::workloads::workloads());
+    r.register_all(krylov::workloads::workloads());
+    r.register_all(nbody::workloads::workloads());
+    r.register_all(extsort::workloads::workloads());
+    r.register_all(parallel::workloads::workloads());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_well_populated() {
+        let r = registry();
+        assert!(
+            r.len() >= 10,
+            "expected at least 10 registered workloads, got {}",
+            r.len()
+        );
+    }
+
+    #[test]
+    fn every_workload_declares_at_least_one_backend() {
+        for w in registry().iter() {
+            assert!(!w.backends().is_empty(), "{}", w.name());
+            assert!(!w.description().is_empty(), "{}", w.name());
+        }
+    }
+}

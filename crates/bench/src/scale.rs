@@ -19,7 +19,8 @@ use memsim::{CacheConfig, MemSim, Policy};
 /// Which scale to run at.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
-    /// Fast default: capacities ÷256, dimensions ÷16, m capped at 512.
+    /// Fast default: L3 ÷256 (L1/L2 stay at the ÷64 floor), dimensions
+    /// ÷16, m capped at 512.
     Small,
     /// Reference: capacities ÷64, dimensions ÷8, full m sweep.
     Paper,
@@ -62,18 +63,16 @@ impl Scale {
         }
     }
 
-    /// Cache geometry (3 levels).
+    /// Cache geometry (3 levels) — delegates to [`XeonGeometry::for_scale`]
+    /// so the legacy figures and the engine backends can never drift.
     pub fn geometry(&self, policy: Policy) -> XeonGeometry {
-        match self {
-            Scale::Paper => XeonGeometry::scaled(64, policy),
-            Scale::Small => XeonGeometry {
-                l1_words: 64,
-                l2_words: 512,
-                l3_words: 12 << 10,
-                line_words: 8,
-                policy,
+        XeonGeometry::for_scale(
+            match self {
+                Scale::Paper => wa_core::Scale::Paper,
+                Scale::Small => wa_core::Scale::Small,
             },
-        }
+            policy,
+        )
     }
 
     /// Outer matrix dimensions (the paper's fixed 4000).

@@ -31,7 +31,14 @@ pub fn table1(n: f64, p: f64, c2: f64, c3: f64, cp: &CostParams) {
     ];
     print_table(
         &format!("Table 1 (words): n={n:.0} P={p:.0} c2={c2:.0} c3={c3:.0}"),
-        &["algorithm", "L2->L1", "L1->L2", "network", "L3->L2", "L2->L3"],
+        &[
+            "algorithm",
+            "L2->L1",
+            "L1->L2",
+            "network",
+            "L3->L2",
+            "L2->L3",
+        ],
         &rows,
     );
     println!(
@@ -48,7 +55,14 @@ pub fn table2(n: f64, p: f64, c3: f64, cp: &CostParams) {
     ];
     print_table(
         &format!("Table 2 (words): n={n:.0} P={p:.0} c3={c3:.0}"),
-        &["algorithm", "L2->L1", "L1->L2", "network", "L3->L2", "L2->L3"],
+        &[
+            "algorithm",
+            "L2->L1",
+            "L1->L2",
+            "network",
+            "L3->L2",
+            "L2->L3",
+        ],
         &rows,
     );
 }

@@ -89,7 +89,14 @@ pub fn run(n: usize, p: usize, m2: u64) {
         .collect();
     print_table(
         &format!("Theorem 4 trade-off, measured (n={n}, P={p}, per-node words)"),
-        &["algorithm", "c", "net recv", "NVM writes", "W2 bound", "W1 bound"],
+        &[
+            "algorithm",
+            "c",
+            "net recv",
+            "NVM writes",
+            "W2 bound",
+            "W1 bound",
+        ],
         &body,
     );
 }

@@ -7,7 +7,13 @@ use wa_core::Mat;
 /// Allocate A (`l×m`), B (`m×n`), C (`l×n`) in a fresh [`SimMem`], fill A
 /// and B with random data *before* attaching the measured simulator (cold
 /// cache, untouched counters — the paper's protocol).
-pub fn setup_matmul(l: usize, m: usize, n: usize, sim: MemSim, rebuild: impl Fn() -> MemSim) -> (SimMem, [MatDesc; 3]) {
+pub fn setup_matmul(
+    l: usize,
+    m: usize,
+    n: usize,
+    sim: MemSim,
+    rebuild: impl Fn() -> MemSim,
+) -> (SimMem, [MatDesc; 3]) {
     let (d, words) = alloc_layout(&[(l, m), (m, n), (l, n)]);
     let mut mem = SimMem::new(words, sim);
     d[0].store_mat(&mut mem, &Mat::random(l, m, 0xA));

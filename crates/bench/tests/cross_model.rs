@@ -1,0 +1,96 @@
+//! Cross-model agreement: the explicit block-movement model and the cache
+//! simulator are independent implementations of the paper's refined
+//! model, so for the WA kernels their slow-memory write counts must
+//! coincide — programmatically, through the registry, not by eyeball.
+//!
+//! Tolerances (documented per ISSUE 3):
+//!
+//! * `matmul-wa` — **exact**. Blocks are whole cache lines by
+//!   construction (`sim_block_and_dim` rounds to 8-word lines) and the
+//!   simulator is flushed, so LRU write-backs equal the explicit stores
+//!   word-for-word (Proposition 6.1).
+//! * `nbody-wa` — **2%**. The explicit model counts particles and the
+//!   simulator counts words (4 words/body), so the comparison converts
+//!   via `WORDS_PER_BODY`; line granularity (2 bodies/line) and LRU edge
+//!   effects at block seams may cost a few lines either way. At the
+//!   current geometry the counts agree exactly.
+
+use wa_bench::registry::registry;
+use wa_core::{BackendKind, Scale};
+
+/// Slow-memory writes (words) for `name` on `backend`.
+fn writes_to_slow(name: &str, backend: BackendKind) -> u64 {
+    registry()
+        .run(name, backend, Scale::Small)
+        .unwrap_or_else(|e| panic!("{name} on {backend}: {e}"))
+        .writes_to_slow()
+}
+
+#[test]
+fn wa_matmul_explicit_and_simmed_slow_writes_agree_exactly() {
+    let explicit = writes_to_slow("matmul-wa", BackendKind::Explicit);
+    let simmed = writes_to_slow("matmul-wa", BackendKind::Simmed);
+    assert!(explicit > 0);
+    assert_eq!(
+        explicit, simmed,
+        "explicit {explicit} vs simulated {simmed} slow-memory writes"
+    );
+}
+
+#[test]
+fn wa_nbody_explicit_and_simmed_slow_writes_agree_within_2_percent() {
+    // Explicit counts particles; convert to words before comparing.
+    let explicit_particles = writes_to_slow("nbody-wa", BackendKind::Explicit);
+    let explicit_words = explicit_particles * nbody::force::WORDS_PER_BODY as u64;
+    let simmed_words = writes_to_slow("nbody-wa", BackendKind::Simmed);
+    let diff = explicit_words.abs_diff(simmed_words) as f64;
+    assert!(explicit_words > 0);
+    assert!(
+        diff / explicit_words as f64 <= 0.02,
+        "explicit {explicit_words} vs simulated {simmed_words} slow-memory write words"
+    );
+}
+
+#[test]
+fn explicit_and_simmed_reports_share_the_json_schema() {
+    let reg = registry();
+    let exp = reg
+        .run("matmul-wa", BackendKind::Explicit, Scale::Small)
+        .unwrap()
+        .to_json();
+    let sim = reg
+        .run("matmul-wa", BackendKind::Simmed, Scale::Small)
+        .unwrap()
+        .to_json();
+    for key in [
+        "\"workload\":",
+        "\"backend\":",
+        "\"scale\":",
+        "\"config\":",
+        "\"boundaries\":",
+        "\"load_words\":",
+        "\"store_words\":",
+        "\"writes_per_level\":",
+        "\"flops\":",
+        "\"wall_ns\":",
+        "\"notes\":",
+    ] {
+        assert!(exp.contains(key), "explicit report missing {key}");
+        assert!(sim.contains(key), "simulated report missing {key}");
+    }
+}
+
+#[test]
+fn non_wa_matmul_writes_far_exceed_the_wa_count_on_both_models() {
+    // The agreement is meaningful only if the models also agree on the
+    // *contrast*: the non-WA order must write several times the output on
+    // each model (n/b = 2 blocks per dimension here -> ~2x the output).
+    for backend in [BackendKind::Explicit, BackendKind::Simmed] {
+        let wa = writes_to_slow("matmul-wa", backend);
+        let non = writes_to_slow("matmul-nonwa", backend);
+        assert!(
+            non >= 2 * wa,
+            "{backend}: non-WA {non} vs WA {wa} slow-memory writes"
+        );
+    }
+}

@@ -125,9 +125,9 @@ pub fn fft_symbolic(g: &mut Cdag, n: usize) -> Vec<NodeId> {
     // Bit-reversal is a relabeling, not computation.
     let bits = n.trailing_zeros();
     let mut perm: Vec<NodeId> = cur.clone();
-    for i in 0..n {
+    for (i, &id) in cur.iter().enumerate() {
         let j = (i as u64).reverse_bits().wrapping_shr(64 - bits) as usize;
-        perm[j] = cur[i];
+        perm[j] = id;
     }
     cur = perm;
     let mut len = 2;
@@ -179,12 +179,11 @@ mod tests {
             let mut mem = RawMem::new(2 * n);
             write_signal(&mut mem, 0, &x);
             fft_mem(&mut mem, 0, n);
-            for k in 0..n {
+            for (k, &w) in want.iter().enumerate() {
                 let got = Complex::new(mem.data[2 * k], mem.data[2 * k + 1]);
                 assert!(
-                    got.sub(want[k]).abs() < 1e-9 * (n as f64),
-                    "n={n} k={k}: {got:?} vs {:?}",
-                    want[k]
+                    got.sub(w).abs() < 1e-9 * (n as f64),
+                    "n={n} k={k}: {got:?} vs {w:?}"
                 );
             }
         }
@@ -198,7 +197,10 @@ mod tests {
         let mut m1 = RawMem::new(2 * n);
         let mut m2 = RawMem::new(2 * n);
         write_signal(&mut m1, 0, &x);
-        let scaled: Vec<Complex> = x.iter().map(|c| Complex::new(3.0 * c.re, 3.0 * c.im)).collect();
+        let scaled: Vec<Complex> = x
+            .iter()
+            .map(|c| Complex::new(3.0 * c.re, 3.0 * c.im))
+            .collect();
         write_signal(&mut m2, 0, &scaled);
         fft_mem(&mut m1, 0, n);
         fft_mem(&mut m2, 0, n);
@@ -244,7 +246,10 @@ mod tests {
         let reads = c.fills;
         // In-place FFT dirties every line it touches: writes ~ reads.
         let frac = writes as f64 / reads as f64;
-        assert!(frac > 0.5, "write fraction {frac} too small for a non-WA CDAG");
+        assert!(
+            frac > 0.5,
+            "write fraction {frac} too small for a non-WA CDAG"
+        );
         // And total traffic is Ω(n log n / log M) as the bound predicts.
         let bound_words = wa_core::bounds::fft_ldst_lower(n as u64, 512);
         assert!(

@@ -22,6 +22,7 @@
 pub mod fft;
 pub mod graph;
 pub mod strassen;
+pub mod workloads;
 
 pub use fft::{dft_reference, fft_mem, fft_symbolic, Complex};
 pub use graph::{Cdag, NodeId};

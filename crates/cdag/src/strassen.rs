@@ -90,7 +90,9 @@ pub fn strassen_mem<M: Mem>(
     // recursion's own scratch after them.
     let t1 = MatDesc::new(scratch, h, h);
     let t2 = MatDesc::new(scratch + q, h, h);
-    let p: Vec<MatDesc> = (0..7).map(|i| MatDesc::new(scratch + (2 + i) * q, h, h)).collect();
+    let p: Vec<MatDesc> = (0..7)
+        .map(|i| MatDesc::new(scratch + (2 + i) * q, h, h))
+        .collect();
     let deeper = scratch + 9 * q;
 
     let (a11, a12, a21, a22) = (quad(a, 0, 0), quad(a, 0, 1), quad(a, 1, 0), quad(a, 1, 1));
@@ -337,18 +339,10 @@ mod tests {
         d[1].store_mat(&mut mem, &Mat::random(n, n, 2));
         let data = std::mem::take(&mut mem.data);
         let mut mem = SimMem::from_vec(data, MemSim::two_level(cfg));
-        dense::matmul::blocked_matmul(
-            &mut mem,
-            d[0],
-            d[1],
-            d[2],
-            8,
-            dense::matmul::LoopOrder::Ijk,
-        );
+        dense::matmul::blocked_matmul(&mut mem, d[0], d[1], d[2], 8, dense::matmul::LoopOrder::Ijk);
         mem.sim.flush();
         let cw = mem.sim.llc();
-        let wa_frac =
-            (cw.victims_m + cw.flush_victims_m) as f64 / cw.fills as f64;
+        let wa_frac = (cw.victims_m + cw.flush_victims_m) as f64 / cw.fills as f64;
         assert!(
             wa_frac < frac,
             "WA classical fraction {wa_frac} must undercut Strassen {frac}"

@@ -164,17 +164,16 @@ pub fn explicit_cholesky_rl(a: &mut Mat, hier: &mut ExplicitHier) {
                 let ck = w(k);
                 hier.load(0, (cj * ci) as u64); // L(j,i)
                 hier.load(0, (ck * ci) as u64); // L(k,i)
-                let words = if j == k { tri_words(cj) } else { (cj * ck) as u64 };
+                let words = if j == k {
+                    tri_words(cj)
+                } else {
+                    (cj * ck) as u64
+                };
                 hier.load(0, words); // A(j,k)
                 if j == k {
                     syrk_sub_lower(a, (j * bs, j * bs + cj), di);
                 } else {
-                    mm_sub_bt_range(
-                        a,
-                        (j * bs, j * bs + cj),
-                        (k * bs, k * bs + ck),
-                        di,
-                    );
+                    mm_sub_bt_range(a, (j * bs, j * bs + cj), (k * bs, k * bs + ck), di);
                 }
                 hier.flop(2 * (cj * ck * ci) as u64);
                 hier.store(0, words); // eagerly written back

@@ -131,6 +131,7 @@ pub fn explicit_mm_multilevel(a: &Mat, b: &Mat, c: &mut Mat, hier: &mut Explicit
 /// Multiply the sub-blocks `C[ir, jr] += A[ir, kr] * B[kr, jr]`, with the
 /// operands resident in level `lvl` (1-indexed; `lvl = num_levels` means
 /// the backing store).
+#[allow(clippy::too_many_arguments)] // three index ranges + hierarchy; a struct would obscure the recursion
 fn rec_mm(
     a: &Mat,
     b: &Mat,
@@ -165,16 +166,7 @@ fn rec_mm(
                 let ck = bs.min(k1 - k);
                 hier.load(bnd, (ci * ck) as u64); // A block
                 hier.load(bnd, (ck * cj) as u64); // B block
-                rec_mm(
-                    a,
-                    b,
-                    c,
-                    hier,
-                    dest,
-                    (i, i + ci),
-                    (j, j + cj),
-                    (k, k + ck),
-                );
+                rec_mm(a, b, c, hier, dest, (i, i + ci), (j, j + cj), (k, k + ck));
                 hier.free(dest, (ci * ck + ck * cj) as u64);
                 k += ck;
             }

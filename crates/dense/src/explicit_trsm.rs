@@ -113,8 +113,8 @@ pub fn explicit_trsm_rl(t: &Mat, b: &mut Mat, hier: &mut ExplicitHier) {
             hier.flop((ci * ci * cj) as u64);
             hier.free(1, tri_words(ci));
             hier.store(0, (ci * cj) as u64); // X(i,j) written back...
-            // ...but kept resident for the updates below.
-            // Eagerly update all blocks above i in this block column.
+                                             // ...but kept resident for the updates below.
+                                             // Eagerly update all blocks above i in this block column.
             for k in 0..i {
                 let ck = w(k, n);
                 hier.load(0, (ck * ci) as u64); // T(k,i)
@@ -184,10 +184,10 @@ fn rec_trsm(
                 let kb = d0 + k * bs;
                 hier.load(bnd, (ci * ck) as u64); // T(i,k)
                 hier.load(bnd, (ck * cj) as u64); // X(k,j)
-                // Multi-level update: recurse through the remaining levels
-                // as a matmul-shaped kernel (here performed directly; the
-                // per-level re-blocking of the matmul is exercised by
-                // explicit_mm_multilevel and charged at this boundary).
+                                                  // Multi-level update: recurse through the remaining levels
+                                                  // as a matmul-shaped kernel (here performed directly; the
+                                                  // per-level re-blocking of the matmul is exercised by
+                                                  // explicit_mm_multilevel and charged at this boundary).
                 update_range(t, b, (ib, ib + ci), (kb, kb + ck), (j, j + cj));
                 hier.flop(2 * (ci * ck * cj) as u64);
                 hier.free(dest, (ci * ck + ck * cj) as u64);
@@ -219,7 +219,11 @@ mod tests {
         let (t, mut b, x_true) = setup(12, 12);
         let mut h = ExplicitHier::two_level(48);
         explicit_trsm_wa(&t, &mut b, &mut h);
-        assert!(b.max_abs_diff(&x_true) < 1e-9, "{}", b.max_abs_diff(&x_true));
+        assert!(
+            b.max_abs_diff(&x_true) < 1e-9,
+            "{}",
+            b.max_abs_diff(&x_true)
+        );
     }
 
     #[test]
@@ -292,7 +296,11 @@ mod tests {
         let (t, mut b, x_true) = setup(n, nrhs);
         let mut h = ExplicitHier::new(&[12, 48, u64::MAX]);
         explicit_trsm_multilevel(&t, &mut b, &mut h);
-        assert!(b.max_abs_diff(&x_true) < 1e-8, "{}", b.max_abs_diff(&x_true));
+        assert!(
+            b.max_abs_diff(&x_true) < 1e-8,
+            "{}",
+            b.max_abs_diff(&x_true)
+        );
         // Writes to the backing store = exactly the output.
         assert_eq!(h.traffic().boundary(1).store_words, (n * nrhs) as u64);
         // Writes decrease monotonically toward the bottom.

@@ -24,6 +24,7 @@ pub mod lu;
 pub mod matmul;
 pub mod shared;
 pub mod trsm;
+pub mod workloads;
 
 pub use desc::MatDesc;
 pub use matmul::LoopOrder;

@@ -175,7 +175,10 @@ mod tests {
 
     #[test]
     fn classification_constant() {
-        let wa: Vec<bool> = LoopOrder::ALL.iter().map(|o| o.is_write_avoiding()).collect();
+        let wa: Vec<bool> = LoopOrder::ALL
+            .iter()
+            .map(|o| o.is_write_avoiding())
+            .collect();
         assert_eq!(wa, vec![true, false, true, false, false, false]);
     }
 }

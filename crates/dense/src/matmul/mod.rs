@@ -35,7 +35,13 @@ mod tests {
 
     /// Run one variant on random inputs and compare to the reference.
     fn check(f: impl Fn(&mut RawMem, crate::MatDesc, crate::MatDesc, crate::MatDesc)) {
-        for &(m, n, l) in &[(1usize, 1usize, 1usize), (4, 4, 4), (7, 5, 9), (16, 16, 16), (13, 17, 11)] {
+        for &(m, n, l) in &[
+            (1usize, 1usize, 1usize),
+            (4, 4, 4),
+            (7, 5, 9),
+            (16, 16, 16),
+            (13, 17, 11),
+        ] {
             let a = Mat::random(m, n, 1);
             let b = Mat::random(n, l, 2);
             let c0 = Mat::random(m, l, 3);

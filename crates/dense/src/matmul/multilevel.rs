@@ -90,13 +90,7 @@ mod tests {
     use memsim::{CacheConfig, MemSim, Policy, SimMem};
     use wa_core::Mat;
 
-    fn run(
-        n: usize,
-        blocks: &[usize],
-        top: RecOrder,
-        rest: RecOrder,
-        cache_words: usize,
-    ) -> u64 {
+    fn run(n: usize, blocks: &[usize], top: RecOrder, rest: RecOrder, cache_words: usize) -> u64 {
         let (d, words) = alloc_layout(&[(n, n), (n, n), (n, n)]);
         let cfg = CacheConfig {
             capacity_words: cache_words,
@@ -123,8 +117,20 @@ mod tests {
         let n = 64;
         let bsize = 16; // 3 blocks of 16x16 = 768 words
         let cache_words = 768 + 8; // just over three blocks, far below five
-        let fig4a = run(n, &[bsize, 4], RecOrder::COuter, RecOrder::COuter, cache_words);
-        let fig4b = run(n, &[bsize, 4], RecOrder::COuter, RecOrder::AOuter, cache_words);
+        let fig4a = run(
+            n,
+            &[bsize, 4],
+            RecOrder::COuter,
+            RecOrder::COuter,
+            cache_words,
+        );
+        let fig4b = run(
+            n,
+            &[bsize, 4],
+            RecOrder::COuter,
+            RecOrder::AOuter,
+            cache_words,
+        );
         let c_lines = (n * n / 8) as u64;
         assert!(
             fig4b <= 2 * c_lines,
@@ -143,7 +149,13 @@ mod tests {
         let n = 64;
         let bsize = 16;
         let cache_words = 5 * bsize * bsize + 16;
-        let fig4a = run(n, &[bsize, 4], RecOrder::COuter, RecOrder::COuter, cache_words);
+        let fig4a = run(
+            n,
+            &[bsize, 4],
+            RecOrder::COuter,
+            RecOrder::COuter,
+            cache_words,
+        );
         let c_lines = (n * n / 8) as u64;
         assert!(
             fig4a <= 2 * c_lines,

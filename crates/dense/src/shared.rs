@@ -1,5 +1,5 @@
 //! Shared-memory parallel WA matmul — the §9 "WA SMP thread scheduler"
-//! direction, realized with crossbeam scoped threads.
+//! direction, realized with std scoped threads.
 //!
 //! Two schedules over real threads:
 //!
@@ -29,7 +29,13 @@ pub struct ThreadWrites {
 /// Owner-computes WA schedule: C's rows are split into `threads`
 /// contiguous slabs; thread `t` computes its slab with the blocked WA
 /// order. Returns per-thread write counts.
-pub fn par_matmul_wa(a: &Mat, b: &Mat, c: &mut Mat, bsize: usize, threads: usize) -> Vec<ThreadWrites> {
+pub fn par_matmul_wa(
+    a: &Mat,
+    b: &Mat,
+    c: &mut Mat,
+    bsize: usize,
+    threads: usize,
+) -> Vec<ThreadWrites> {
     let (m, n, l) = (a.rows(), a.cols(), b.cols());
     assert_eq!(c.rows(), m);
     assert_eq!(c.cols(), l);
@@ -42,11 +48,11 @@ pub fn par_matmul_wa(a: &Mat, b: &Mat, c: &mut Mat, bsize: usize, threads: usize
     // any write sharing (each cache line of C has one writer).
     let c_data = c.as_mut_slice();
     let slabs: Vec<&mut [f64]> = c_data.chunks_mut(rows_per * l).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (t, slab) in slabs.into_iter().enumerate() {
             let r0 = t * rows_per;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let rows = slab.len() / l;
                 let mut writes = 0u64;
                 // Blocked WA order within the slab: i, j blocks outer,
@@ -78,20 +84,14 @@ pub fn par_matmul_wa(a: &Mat, b: &Mat, c: &mut Mat, bsize: usize, threads: usize
             let (t, w) = h.join().expect("worker panicked");
             stats[t] = w;
         }
-    })
-    .expect("scope failed");
+    });
     stats
 }
 
 /// k-partitioned schedule: thread `t` computes `A[:, kt..] · B[kt.., :]`
 /// into a private full-size partial buffer; partials are then reduced
 /// into C. Same flops, `threads + 1`× the C-sized writes.
-pub fn par_matmul_kpart(
-    a: &Mat,
-    b: &Mat,
-    c: &mut Mat,
-    threads: usize,
-) -> Vec<ThreadWrites> {
+pub fn par_matmul_kpart(a: &Mat, b: &Mat, c: &mut Mat, threads: usize) -> Vec<ThreadWrites> {
     let (m, n, l) = (a.rows(), a.cols(), b.cols());
     assert_eq!(c.rows(), m);
     assert_eq!(c.cols(), l);
@@ -100,12 +100,12 @@ pub fn par_matmul_kpart(
 
     let mut partials: Vec<Mat> = Vec::new();
     let mut stats = vec![ThreadWrites::default(); threads];
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let k0 = (t * k_per).min(n);
             let k1 = ((t + 1) * k_per).min(n);
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let mut p = Mat::zeros(m, l);
                 let mut writes = 0u64;
                 for i in 0..m {
@@ -126,8 +126,7 @@ pub fn par_matmul_kpart(
             stats[t] = w;
             partials.push(p);
         }
-    })
-    .expect("scope failed");
+    });
 
     // Reduction: every C element written once more.
     for p in &partials {

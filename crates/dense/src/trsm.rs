@@ -99,7 +99,12 @@ mod tests {
     #[test]
     fn both_variants_solve() {
         for variant in [TrsmVariant::WriteAvoiding, TrsmVariant::RightLooking] {
-            for &(n, nrhs, bsize) in &[(8usize, 8usize, 4usize), (12, 8, 4), (13, 9, 4), (16, 16, 8)] {
+            for &(n, nrhs, bsize) in &[
+                (8usize, 8usize, 4usize),
+                (12, 8, 4),
+                (13, 9, 4),
+                (16, 16, 8),
+            ] {
                 let (t, b, x) = setup(n, nrhs);
                 let (d, words) = alloc_layout(&[(n, n), (n, nrhs)]);
                 let mut mem = RawMem::new(words);

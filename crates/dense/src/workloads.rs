@@ -1,0 +1,356 @@
+//! Engine registrations for the dense kernels.
+//!
+//! Each paper algorithm variant registers once; the run function projects
+//! whichever backend was requested into a [`RunReport`]:
+//!
+//! * `explicit` — the Algorithm 1–3 explicit-movement kernels on a
+//!   two-level [`ExplicitHier`] whose fast memory is the scale's L3;
+//! * `simmed` — the access-driven kernels through a fully-associative
+//!   true-LRU L3-sized simulator (the Propositions 6.1/6.2 setting),
+//!   flushed before reporting so end-of-run dirty state is charged;
+//! * `raw` — the same access-driven kernels on raw memory (wall clock);
+//! * `traced` — the address trace, reported as length/distinct-lines.
+//!
+//! Geometry: fast memory `M` = the scale's L3 words; the matrix dimension
+//! is `2·b_sim` where `b_sim = ⌊√(M/5)⌋` rounded down to a whole number
+//! of lines, so block edges align with cache lines and the simulated
+//! write-backs are exactly the output size for WA orders (Prop 6.1).
+
+use crate::cholesky::{blocked_cholesky, CholVariant};
+use crate::desc::alloc_layout;
+use crate::explicit_cholesky::{explicit_cholesky_ll, explicit_cholesky_rl};
+use crate::explicit_mm::explicit_mm_two_level;
+use crate::explicit_trsm::{explicit_trsm_rl, explicit_trsm_wa};
+use crate::lu::{blocked_lu, LuVariant};
+use crate::matmul::{blocked_matmul, co_matmul, LoopOrder};
+use crate::trsm::{blocked_trsm, TrsmVariant};
+use memsim::xeon::XeonGeometry;
+use memsim::{explicit_report, memsim_report, ExplicitHier, Mem, MemSim, RawMem, SimMem, TraceMem};
+use wa_core::engine::{BackendKind, EngineError, FnWorkload, Scale, Workload};
+use wa_core::report::{timed, RunReport};
+use wa_core::Mat;
+
+/// Fast-memory capacity (words) for the two-level models at `scale`.
+pub fn fast_words(scale: Scale) -> usize {
+    XeonGeometry::for_scale(scale, memsim::Policy::Lru).l3_words
+}
+
+/// Simulated block size: largest whole-line block with five copies
+/// resident (Prop 6.1 head-room), and the matrix dimension `n = 2b`.
+pub fn sim_block_and_dim(scale: Scale) -> (usize, usize) {
+    let m = fast_words(scale);
+    let b = ((((m / 5) as f64).sqrt()) as usize / 8 * 8).max(8);
+    (b, 2 * b)
+}
+
+/// Single-level (L3-only) fully-associative LRU simulator of `m` words.
+fn l3_sim(m: usize) -> MemSim {
+    MemSim::single_level_lru(m)
+}
+
+/// Stage three matrices into a fresh memory, returning `(descs, data)`.
+fn stage(mats: &[&Mat]) -> (Vec<crate::MatDesc>, Vec<f64>) {
+    let shapes: Vec<(usize, usize)> = mats.iter().map(|m| (m.rows(), m.cols())).collect();
+    let (d, words) = alloc_layout(&shapes);
+    let mut raw = RawMem::new(words);
+    for (desc, m) in d.iter().zip(mats) {
+        desc.store_mat(&mut raw, m);
+    }
+    (d, raw.data)
+}
+
+fn base_report(name: &str, backend: BackendKind, scale: Scale, n: usize) -> RunReport {
+    RunReport::new(name, backend, scale)
+        .config("n", n)
+        .config("fast_words", fast_words(scale))
+}
+
+/// Run one access-driven dense kernel on the requested backend. The
+/// kernel closure receives the memory and the matrix descriptors.
+fn run_mem_kernel(
+    name: &'static str,
+    backend: BackendKind,
+    scale: Scale,
+    mats: &[&Mat],
+    kernel: impl Fn(&mut &mut dyn Mem, &[crate::MatDesc]),
+) -> Result<RunReport, EngineError> {
+    let n = mats[0].rows();
+    let m_words = fast_words(scale);
+    let (d, data) = stage(mats);
+    match backend {
+        BackendKind::Raw => {
+            let mut mem = RawMem::from_vec(data);
+            let (_, ns) = timed(|| kernel(&mut (&mut mem as &mut dyn Mem), &d));
+            let mut r = base_report(name, backend, scale, n);
+            r.wall_ns = ns;
+            Ok(r)
+        }
+        BackendKind::Simmed => {
+            let mut mem = SimMem::from_vec(data, l3_sim(m_words));
+            let (_, ns) = timed(|| kernel(&mut (&mut mem as &mut dyn Mem), &d));
+            mem.sim.flush();
+            let mut r = memsim_report(&mem.sim, base_report(name, backend, scale, n))
+                .note("flushed: end-of-run dirty lines charged to the DRAM boundary");
+            r.wall_ns = ns;
+            Ok(r)
+        }
+        BackendKind::Traced => {
+            let mut mem = TraceMem::from_vec(data);
+            let (_, ns) = timed(|| kernel(&mut (&mut mem as &mut dyn Mem), &d));
+            let distinct: std::collections::BTreeSet<usize> =
+                mem.trace.iter().map(|a| a.addr / 8).collect();
+            let writes = mem.trace.iter().filter(|a| a.is_write).count();
+            let mut r = base_report(name, backend, scale, n)
+                .config("trace_len", mem.trace.len())
+                .config("trace_writes", writes)
+                .config("trace_distinct_lines", distinct.len());
+            r.wall_ns = ns;
+            Ok(r)
+        }
+        BackendKind::Explicit => Err(EngineError::UnsupportedBackend {
+            workload: name.to_string(),
+            backend,
+            supported: vec![BackendKind::Raw, BackendKind::Simmed, BackendKind::Traced],
+        }),
+    }
+}
+
+/// Matmul workloads: WA (`k` innermost) and non-WA (`k` outermost) blocked
+/// orders, plus the cache-oblivious recursion.
+fn matmul_workload(
+    name: &'static str,
+    description: &'static str,
+    order: Option<LoopOrder>, // None = cache-oblivious
+) -> Box<dyn Workload> {
+    let backends = if order.is_some() {
+        vec![
+            BackendKind::Raw,
+            BackendKind::Simmed,
+            BackendKind::Traced,
+            BackendKind::Explicit,
+        ]
+    } else {
+        vec![BackendKind::Raw, BackendKind::Simmed, BackendKind::Traced]
+    };
+    FnWorkload::boxed(
+        name,
+        "dense",
+        description,
+        &backends,
+        move |backend, scale| {
+            let (bsize, n) = sim_block_and_dim(scale);
+            let a = Mat::random(n, n, 11);
+            let b = Mat::random(n, n, 12);
+            if backend == BackendKind::Explicit {
+                let order = order.expect("explicit requires a loop order");
+                let mut c = Mat::zeros(n, n);
+                let mut h = ExplicitHier::two_level(fast_words(scale) as u64);
+                let (_, ns) = timed(|| explicit_mm_two_level(&a, &b, &mut c, &mut h, order));
+                let mut r = explicit_report(&h, base_report(name, backend, scale, n))
+                    .config("order", format!("{order:?}"));
+                r.wall_ns = ns;
+                return Ok(r);
+            }
+            let c0 = Mat::zeros(n, n);
+            run_mem_kernel(name, backend, scale, &[&a, &b, &c0], |mem, d| match order {
+                Some(o) => blocked_matmul(mem, d[0], d[1], d[2], bsize, o),
+                None => co_matmul(mem, d[0], d[1], d[2], 16),
+            })
+            .map(|r| r.config("block", bsize))
+        },
+    )
+}
+
+pub fn workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        matmul_workload(
+            "matmul-wa",
+            "Algorithm 1 blocked matmul, WA order (k innermost): stores = output size",
+            Some(LoopOrder::Ijk),
+        ),
+        matmul_workload(
+            "matmul-nonwa",
+            "blocked matmul, non-WA order (k outermost): stores = (n/b) x output size",
+            Some(LoopOrder::Kij),
+        ),
+        matmul_workload(
+            "matmul-co",
+            "cache-oblivious recursive matmul (Frigo et al.): CA but provably not WA (Thm 3)",
+            None,
+        ),
+        trsm_workload(
+            "trsm-wa",
+            "Algorithm 2 TRSM, WA order: stores = output size exactly",
+            true,
+        ),
+        trsm_workload(
+            "trsm-rl",
+            "right-looking TRSM: eager updates rewrite B every panel",
+            false,
+        ),
+        cholesky_workload(
+            "cholesky-wa",
+            "Algorithm 3 left-looking Cholesky (write-avoiding)",
+            true,
+        ),
+        cholesky_workload(
+            "cholesky-rl",
+            "right-looking Cholesky: eager Schur updates are write-heavy",
+            false,
+        ),
+        lu_workload(
+            "lu-wa",
+            "left-looking blocked LU (no pivoting), the WA order of section 7.2",
+            LuVariant::LeftLooking,
+        ),
+        lu_workload(
+            "lu-rl",
+            "right-looking blocked LU (no pivoting), eager trailing updates",
+            LuVariant::RightLooking,
+        ),
+    ]
+}
+
+fn trsm_workload(name: &'static str, description: &'static str, wa: bool) -> Box<dyn Workload> {
+    let backends = [
+        BackendKind::Raw,
+        BackendKind::Simmed,
+        BackendKind::Traced,
+        BackendKind::Explicit,
+    ];
+    FnWorkload::boxed(
+        name,
+        "dense",
+        description,
+        &backends,
+        move |backend, scale| {
+            let (bsize, n) = sim_block_and_dim(scale);
+            let t = Mat::random_upper_triangular(n, 21);
+            let x = Mat::random(n, n, 22);
+            let rhs = t.matmul_ref(&x);
+            if backend == BackendKind::Explicit {
+                let mut b = rhs.clone();
+                let mut h = ExplicitHier::two_level(fast_words(scale) as u64);
+                let (_, ns) = timed(|| {
+                    if wa {
+                        explicit_trsm_wa(&t, &mut b, &mut h)
+                    } else {
+                        explicit_trsm_rl(&t, &mut b, &mut h)
+                    }
+                });
+                let mut r = explicit_report(&h, base_report(name, backend, scale, n));
+                r.wall_ns = ns;
+                return Ok(r);
+            }
+            let variant = if wa {
+                TrsmVariant::WriteAvoiding
+            } else {
+                TrsmVariant::RightLooking
+            };
+            run_mem_kernel(name, backend, scale, &[&t, &rhs], move |mem, d| {
+                blocked_trsm(mem, d[0], d[1], bsize, variant)
+            })
+            .map(|r| r.config("block", bsize))
+        },
+    )
+}
+
+fn cholesky_workload(name: &'static str, description: &'static str, wa: bool) -> Box<dyn Workload> {
+    let backends = [
+        BackendKind::Raw,
+        BackendKind::Simmed,
+        BackendKind::Traced,
+        BackendKind::Explicit,
+    ];
+    FnWorkload::boxed(
+        name,
+        "dense",
+        description,
+        &backends,
+        move |backend, scale| {
+            let (bsize, n) = sim_block_and_dim(scale);
+            let spd = Mat::random_spd(n, 31);
+            if backend == BackendKind::Explicit {
+                let mut a = spd.clone();
+                let mut h = ExplicitHier::two_level(fast_words(scale) as u64);
+                let (_, ns) = timed(|| {
+                    if wa {
+                        explicit_cholesky_ll(&mut a, &mut h)
+                    } else {
+                        explicit_cholesky_rl(&mut a, &mut h)
+                    }
+                });
+                let mut r = explicit_report(&h, base_report(name, backend, scale, n));
+                r.wall_ns = ns;
+                return Ok(r);
+            }
+            let variant = if wa {
+                CholVariant::LeftLooking
+            } else {
+                CholVariant::RightLooking
+            };
+            run_mem_kernel(name, backend, scale, &[&spd], move |mem, d| {
+                blocked_cholesky(mem, d[0], bsize, variant)
+            })
+            .map(|r| r.config("block", bsize))
+        },
+    )
+}
+
+fn lu_workload(
+    name: &'static str,
+    description: &'static str,
+    variant: LuVariant,
+) -> Box<dyn Workload> {
+    let backends = [BackendKind::Raw, BackendKind::Simmed, BackendKind::Traced];
+    FnWorkload::boxed(
+        name,
+        "dense",
+        description,
+        &backends,
+        move |backend, scale| {
+            let (bsize, n) = sim_block_and_dim(scale);
+            // Diagonally dominant so the pivot-free factorization is stable.
+            let mut a = Mat::random(n, n, 41);
+            for i in 0..n {
+                a[(i, i)] = a[(i, i)].abs() + n as f64;
+            }
+            run_mem_kernel(name, backend, scale, &[&a], move |mem, d| {
+                blocked_lu(mem, d[0], bsize, variant)
+            })
+            .map(|r| r.config("block", bsize))
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_dense_workload_runs_on_each_declared_backend() {
+        for w in workloads() {
+            for &b in w.backends() {
+                let r = w
+                    .run(b, Scale::Small)
+                    .unwrap_or_else(|e| panic!("{} on {b}: {e}", w.name()));
+                assert_eq!(r.backend, b);
+                if b == BackendKind::Simmed || b == BackendKind::Explicit {
+                    assert!(!r.boundaries.is_empty(), "{} on {b}", w.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wa_matmul_explicit_and_simmed_store_the_output_size() {
+        let reg: Vec<Box<dyn Workload>> = workloads();
+        let w = reg.iter().find(|w| w.name() == "matmul-wa").unwrap();
+        let (_, n) = sim_block_and_dim(Scale::Small);
+        let out = (n * n) as u64;
+        let exp = w.run(BackendKind::Explicit, Scale::Small).unwrap();
+        assert_eq!(exp.writes_to_slow(), out);
+        let sim = w.run(BackendKind::Simmed, Scale::Small).unwrap();
+        assert_eq!(sim.writes_to_slow(), out);
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod merge;
 pub mod selection;
+pub mod workloads;
 
 /// Slow-memory traffic of a sorting run, in elements, under the explicit
 /// model (the fast memory holds `m` elements; streams are counted once).
@@ -81,7 +82,10 @@ mod tests {
 
         // Merge sort: writes ≈ reads ≈ n · passes.
         assert!(io1.write_fraction() > 0.45 && io1.write_fraction() < 0.55);
-        assert!(io1.writes >= (n as u64) * 2, "at least two passes at n/M = 64");
+        assert!(
+            io1.writes >= (n as u64) * 2,
+            "at least two passes at n/M = 64"
+        );
 
         // Low-write sort: writes == n exactly; reads Θ(n²/m).
         assert_eq!(io2.writes, n as u64);

@@ -57,10 +57,7 @@ fn kway_merge(src: &[f64], run_len: usize, fanout: usize, dst: &mut [f64]) {
         .map(|r| r * run_len)
         .take_while(|&h| h < n)
         .collect();
-    let ends: Vec<usize> = heads
-        .iter()
-        .map(|&h| (h + run_len).min(n))
-        .collect();
+    let ends: Vec<usize> = heads.iter().map(|&h| (h + run_len).min(n)).collect();
     for out in dst.iter_mut() {
         let mut best: Option<usize> = None;
         for (r, &h) in heads.iter().enumerate() {
@@ -92,7 +89,13 @@ mod tests {
     #[test]
     fn sorts_correctly_various_shapes() {
         let mut rng = XorShift::new(1);
-        for &(n, m, f) in &[(1usize, 4usize, 2usize), (7, 4, 2), (64, 8, 2), (1000, 16, 4), (1024, 32, 8)] {
+        for &(n, m, f) in &[
+            (1usize, 4usize, 2usize),
+            (7, 4, 2),
+            (64, 8, 2),
+            (1000, 16, 4),
+            (1024, 32, 8),
+        ] {
             let mut d: Vec<f64> = (0..n).map(|_| rng.next_unit()).collect();
             let mut want = d.clone();
             want.sort_by(|a, b| a.partial_cmp(b).unwrap());

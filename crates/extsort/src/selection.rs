@@ -35,11 +35,10 @@ pub fn low_write_sort(data: &mut [f64], m: usize, io: &mut SortIo) {
             if x < thr {
                 continue;
             }
-            if x == thr
-                && skip > 0 {
-                    skip -= 1;
-                    continue;
-                }
+            if x == thr && skip > 0 {
+                skip -= 1;
+                continue;
+            }
             // Insert into the sorted batch, keeping at most m elements.
             let pos = batch.partition_point(|&b| b <= x);
             if pos < m {

@@ -1,0 +1,132 @@
+//! Engine registrations for the §9 sorting workloads.
+//!
+//! [`SortIo`] is an explicit element-granular tally, so both sorts
+//! register the `explicit` backend (reads → loads, writes → stores on one
+//! boundary) plus `raw` for wall clock. Together they trace the two ends
+//! of the conjectured read/write frontier: merge sort does `Θ(n log_M n)`
+//! of each, the selection sort exactly `n` writes but `Θ(n²/M)` reads.
+
+use crate::merge::external_merge_sort;
+use crate::selection::low_write_sort;
+use crate::SortIo;
+use wa_core::engine::{BackendKind, EngineError, FnWorkload, Scale, Workload};
+use wa_core::report::{timed, RunReport};
+use wa_core::{BoundaryTraffic, Traffic, XorShift};
+
+fn problem(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Small => (1 << 14, 256),
+        Scale::Paper => (1 << 16, 1024),
+    }
+}
+
+fn random_data(n: usize) -> Vec<f64> {
+    let mut rng = XorShift::new(91);
+    (0..n).map(|_| rng.next_unit() * 1e6).collect()
+}
+
+fn sort_workload(
+    name: &'static str,
+    description: &'static str,
+    selection: bool,
+) -> Box<dyn Workload> {
+    let backends = [BackendKind::Raw, BackendKind::Explicit];
+    FnWorkload::boxed(
+        name,
+        "extsort",
+        description,
+        &backends,
+        move |backend, scale| {
+            let (n, m) = problem(scale);
+            let mut data = random_data(n);
+            let mut io = SortIo::default();
+            let (_, ns) = timed(|| {
+                if selection {
+                    low_write_sort(&mut data, m, &mut io)
+                } else {
+                    external_merge_sort(&mut data, m, 8, &mut io)
+                }
+            });
+            if data.windows(2).any(|w| w[0] > w[1]) {
+                return Err(EngineError::Failed {
+                    workload: name.to_string(),
+                    message: "output not sorted".to_string(),
+                });
+            }
+            match backend {
+                BackendKind::Raw => {
+                    let mut r = RunReport::new(name, backend, scale)
+                        .config("n", n)
+                        .config("fast_elems", m);
+                    r.wall_ns = ns;
+                    Ok(r)
+                }
+                BackendKind::Explicit => {
+                    let mut bt = BoundaryTraffic::new(2);
+                    *bt.boundary_mut(0) = Traffic {
+                        load_words: io.reads,
+                        load_msgs: io.reads,
+                        store_words: io.writes,
+                        store_msgs: io.writes,
+                    };
+                    let mut r = RunReport::new(name, backend, scale)
+                        .with_boundaries(&bt, &[])
+                        .config("n", n)
+                        .config("fast_elems", m)
+                        .config("passes", io.passes)
+                        .config("write_fraction", format!("{:.4}", io.write_fraction()))
+                        .note("SortIo projection: element-granular counts, msgs == words");
+                    r.wall_ns = ns;
+                    Ok(r)
+                }
+                other => Err(EngineError::UnsupportedBackend {
+                    workload: name.to_string(),
+                    backend: other,
+                    supported: backends.to_vec(),
+                }),
+            }
+        },
+    )
+}
+
+pub fn workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        sort_workload(
+            "sort-merge",
+            "external k-way merge sort: Theta(n log_M n) reads AND writes (I/O optimal)",
+            false,
+        ),
+        sort_workload(
+            "sort-selection",
+            "low-write multi-pass selection sort: exactly n writes, Theta(n^2/M) reads",
+            true,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_sort_workload_runs_on_each_declared_backend() {
+        for w in workloads() {
+            for &b in w.backends() {
+                w.run(b, Scale::Small)
+                    .unwrap_or_else(|e| panic!("{} on {b}: {e}", w.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn selection_sort_attains_the_output_write_bound() {
+        let ws = workloads();
+        let w = ws.iter().find(|w| w.name() == "sort-selection").unwrap();
+        let r = w.run(BackendKind::Explicit, Scale::Small).unwrap();
+        let (n, _) = problem(Scale::Small);
+        assert_eq!(r.writes_to_slow(), n as u64);
+        let m = ws.iter().find(|w| w.name() == "sort-merge").unwrap();
+        let rm = m.run(BackendKind::Explicit, Scale::Small).unwrap();
+        assert!(rm.writes_to_slow() > 2 * r.writes_to_slow());
+    }
+}

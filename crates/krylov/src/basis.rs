@@ -75,7 +75,7 @@ mod tests {
     #[test]
     fn monomial_h_is_a_shift() {
         let h = BasisKind::Monomial.h_matrix(3); // m = 7
-        // e0 -> e1 -> e2 -> e3.
+                                                 // e0 -> e1 -> e2 -> e3.
         let mut v = vec![0.0; 7];
         v[0] = 1.0;
         let v1 = h_apply(&h, &v);

@@ -109,13 +109,7 @@ fn block_powers(
 
 /// CA-CG solve of SPD `A·x = b`. See [`CaCgOptions`]; returns iterates
 /// equivalent (in exact arithmetic) to `s·outer` steps of [`crate::cg::cg`].
-pub fn ca_cg(
-    a: &Csr,
-    b: &[f64],
-    x0: &[f64],
-    opts: &CaCgOptions,
-    io: &mut IoTally,
-) -> SolveResult {
+pub fn ca_cg(a: &Csr, b: &[f64], x0: &[f64], opts: &CaCgOptions, io: &mut IoTally) -> SolveResult {
     let n = a.rows;
     let s = opts.s;
     assert!(s >= 1);
@@ -168,7 +162,9 @@ pub fn ca_cg(
                     rl[j - s - 1][i]
                 }
             };
-            // G += V(I,:)ᵀ V(I,:).
+            // G += V(I,:)ᵀ V(I,:). Indexing (not iterators): the symmetric
+            // write g[j2][j1] needs the second row by index anyway.
+            #[allow(clippy::needless_range_loop)]
             for j1 in 0..m {
                 for j2 in j1..m {
                     let mut acc = 0.0;
@@ -184,8 +180,8 @@ pub fn ca_cg(
             io.flop(2 * m * m * (r1 - r0) / 2);
             if let Some(vs) = v_store.as_mut() {
                 for (j, vj) in vs.iter_mut().enumerate() {
-                    for i in r0..r1 {
-                        vj[i] = col(j, i);
+                    for (i, v) in vj[r0..r1].iter_mut().enumerate() {
+                        *v = col(j, r0 + i);
                     }
                 }
                 io.write(m * (r1 - r0)); // the storing variant's Θ(s·n)

@@ -59,26 +59,27 @@ impl Csr {
     /// matrix-powers building block; other entries of `y` untouched).
     pub fn spmv_range(&self, x: &[f64], y: &mut [f64], r0: usize, r1: usize) {
         assert!(x.len() >= self.cols && y.len() >= self.rows && r1 <= self.rows);
-        for r in r0..r1 {
+        for (r, yr) in y[r0..r1].iter_mut().enumerate() {
+            let r = r0 + r;
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.vals[k] * x[self.col_idx[k]];
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 
-    /// Parallel SpMV over `threads` row slabs using crossbeam scoped
-    /// threads. Deterministic (each thread owns a disjoint output slab).
+    /// Parallel SpMV over `threads` row slabs using std scoped threads.
+    /// Deterministic (each thread owns a disjoint output slab).
     pub fn spmv_parallel(&self, x: &[f64], y: &mut [f64], threads: usize) {
         assert!(threads >= 1);
         let rows = self.rows;
         let chunk = rows.div_ceil(threads);
         let slabs: Vec<&mut [f64]> = y[..rows].chunks_mut(chunk).collect();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (t, slab) in slabs.into_iter().enumerate() {
                 let r0 = t * chunk;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (i, out) in slab.iter_mut().enumerate() {
                         let r = r0 + i;
                         let mut acc = 0.0;
@@ -89,8 +90,7 @@ impl Csr {
                     }
                 });
             }
-        })
-        .expect("spmv worker panicked");
+        });
     }
 
     /// Smallest and largest column index reachable from rows `[r0, r1)` —
@@ -135,7 +135,13 @@ mod tests {
         Csr::from_triplets(
             3,
             3,
-            vec![(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            vec![
+                (0, 0, 2.0),
+                (0, 1, 1.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
     }
 

@@ -7,7 +7,7 @@
 //! basis twice (≤ 2× reads and flops).
 //!
 //! * [`csr`] — compressed-sparse-row matrices with sequential, ranged, and
-//!   crossbeam-parallel SpMV;
+//!   thread-parallel SpMV;
 //! * [`stencil`] — (2b+1)^d-point Laplacian-type stencils on 1/2/3-D
 //!   meshes, the paper's model problems;
 //! * [`counter`] — slow-memory traffic tally under the explicit model
@@ -25,6 +25,7 @@ pub mod counter;
 pub mod csr;
 pub mod stencil;
 pub mod tsqr;
+pub mod workloads;
 
 pub use basis::BasisKind;
 pub use cacg::{ca_cg, CaCgOptions};

@@ -144,7 +144,12 @@ mod tests {
             for r in 0..a.rows {
                 let row = a.to_dense_row(r);
                 let diag = row[r];
-                let off: f64 = row.iter().enumerate().filter(|&(c, _)| c != r).map(|(_, v)| v.abs()).sum();
+                let off: f64 = row
+                    .iter()
+                    .enumerate()
+                    .filter(|&(c, _)| c != r)
+                    .map(|(_, v)| v.abs())
+                    .sum();
                 assert!(diag > off - 1e-12, "row {r} not dominant");
             }
         }

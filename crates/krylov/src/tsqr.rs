@@ -198,7 +198,11 @@ mod tests {
         };
         let streaming = run(false);
         let storing = run(true);
-        assert_eq!(streaming.writes, (s * s) as u64, "only R leaves fast memory");
+        assert_eq!(
+            streaming.writes,
+            (s * s) as u64,
+            "only R leaves fast memory"
+        );
         assert_eq!(
             storing.writes,
             (nb * rpb * s + s * s) as u64,

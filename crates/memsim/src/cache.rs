@@ -12,7 +12,6 @@
 //!   lines evicted and forgotten.
 
 use crate::policy::Policy;
-use std::collections::HashMap;
 
 /// Invalid-tag sentinel.
 const INVALID: u64 = u64::MAX;
@@ -79,11 +78,88 @@ pub(crate) struct Victim {
 
 const NIL: u32 = u32::MAX;
 
-/// O(1) fully-associative LRU bookkeeping: a hash index plus an intrusive
-/// doubly-linked recency list over slots (head = LRU, tail = MRU) and a
-/// free-slot stack.
+/// Flat line→slot index: a power-of-two bucket array of chain heads plus a
+/// per-slot chain link, replacing the former `HashMap<u64, usize>`. Lookup
+/// walks the (short) chain comparing against the level's own `tags` array,
+/// so the hot path is two flat-array loads and a multiply — no SipHash,
+/// no heap buckets.
+struct FlatIndex {
+    /// `64 - log2(buckets)`: multiplicative-hash shift.
+    shift: u32,
+    /// Bucket → first slot in chain (NIL = empty).
+    head: Vec<u32>,
+    /// Slot → next slot in the same bucket's chain.
+    chain: Vec<u32>,
+}
+
+impl FlatIndex {
+    fn new(lines: usize) -> Self {
+        let buckets = (2 * lines.max(1)).next_power_of_two();
+        FlatIndex {
+            shift: 64 - buckets.trailing_zeros(),
+            head: vec![NIL; buckets],
+            chain: vec![NIL; lines],
+        }
+    }
+
+    /// Fibonacci hashing: the high bits of `line * φ⁻¹·2⁶⁴` index the
+    /// bucket, spreading the strided line numbers cache sims produce.
+    #[inline]
+    fn bucket(&self, line: u64) -> usize {
+        (line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize
+    }
+
+    #[inline]
+    fn find(&self, line: u64, tags: &[u64]) -> Option<usize> {
+        let mut s = self.head[self.bucket(line)];
+        while s != NIL {
+            let si = s as usize;
+            if tags[si] == line {
+                return Some(si);
+            }
+            s = self.chain[si];
+        }
+        None
+    }
+
+    fn insert(&mut self, line: u64, slot: usize) {
+        let b = self.bucket(line);
+        self.chain[slot] = self.head[b];
+        self.head[b] = slot as u32;
+    }
+
+    fn remove(&mut self, line: u64, slot: usize) {
+        let b = self.bucket(line);
+        let mut cur = self.head[b];
+        if cur as usize == slot {
+            self.head[b] = self.chain[slot];
+            self.chain[slot] = NIL;
+            return;
+        }
+        while cur != NIL {
+            let ci = cur as usize;
+            let nx = self.chain[ci];
+            if nx as usize == slot {
+                self.chain[ci] = self.chain[slot];
+                self.chain[slot] = NIL;
+                return;
+            }
+            cur = nx;
+        }
+        debug_assert!(false, "removing line {line} that is not indexed");
+    }
+
+    fn clear(&mut self) {
+        self.head.iter_mut().for_each(|x| *x = NIL);
+        self.chain.iter_mut().for_each(|x| *x = NIL);
+    }
+}
+
+/// O(1) fully-associative LRU bookkeeping: a flat hash index plus an
+/// intrusive doubly-linked recency list over slots (head = LRU,
+/// tail = MRU) and a free-slot stack.
 struct FaLru {
-    index: HashMap<u64, usize>,
+    index: FlatIndex,
     prev: Vec<u32>,
     next: Vec<u32>,
     head: u32,
@@ -94,7 +170,7 @@ struct FaLru {
 impl FaLru {
     fn new(lines: usize) -> Self {
         FaLru {
-            index: HashMap::with_capacity(lines * 2),
+            index: FlatIndex::new(lines),
             prev: vec![NIL; lines],
             next: vec![NIL; lines],
             head: NIL,
@@ -138,6 +214,34 @@ impl FaLru {
         self.head = NIL;
         self.tail = NIL;
         self.free = (0..lines).rev().collect();
+    }
+}
+
+#[cfg(test)]
+mod flat_index_tests {
+    use super::*;
+
+    #[test]
+    fn insert_find_remove_with_collisions() {
+        // 4 slots -> 8 buckets; strided lines exercise chains.
+        let mut idx = FlatIndex::new(4);
+        let mut tags = vec![INVALID; 4];
+        for (slot, line) in [(0usize, 8u64), (1, 16), (2, 24), (3, 32)] {
+            tags[slot] = line;
+            idx.insert(line, slot);
+        }
+        for (slot, line) in [(0usize, 8u64), (1, 16), (2, 24), (3, 32)] {
+            assert_eq!(idx.find(line, &tags), Some(slot));
+        }
+        assert_eq!(idx.find(40, &tags), None);
+        idx.remove(16, 1);
+        tags[1] = INVALID;
+        assert_eq!(idx.find(16, &tags), None);
+        // Reuse the freed slot for a new line.
+        tags[1] = 48;
+        idx.insert(48, 1);
+        assert_eq!(idx.find(48, &tags), Some(1));
+        assert_eq!(idx.find(8, &tags), Some(0));
     }
 }
 
@@ -208,7 +312,7 @@ impl Level {
     #[inline]
     fn find(&self, line: u64) -> Option<usize> {
         if let Some(fa) = &self.fa {
-            return fa.index.get(&line).copied();
+            return fa.index.find(line, &self.tags);
         }
         let set = self.set_of(line);
         self.slot_range(set).find(|&s| self.tags[s] == line)
@@ -265,7 +369,7 @@ impl Level {
         // Keep FIFO/LRU metadata at 0 for empty slots: insertion will reset.
         self.meta[slot] = 0;
         if let Some(fa) = &mut self.fa {
-            fa.index.remove(&line);
+            fa.index.remove(line, slot);
             fa.unlink(slot);
             fa.free.push(slot);
         }
@@ -290,7 +394,7 @@ impl Level {
                         line: self.tags[s],
                         dirty: self.dirty[s],
                     };
-                    fa.index.remove(&v.line);
+                    fa.index.remove(v.line, s);
                     fa.unlink(s);
                     (s, Some(v))
                 }

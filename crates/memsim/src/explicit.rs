@@ -156,6 +156,12 @@ impl ExplicitHier {
         &self.traffic
     }
 
+    /// R2-style local writes recorded by [`ExplicitHier::alloc`] for level
+    /// `lvl` (1-indexed).
+    pub fn local_writes(&self, lvl: usize) -> u64 {
+        self.local_writes[lvl - 1]
+    }
+
     /// Words written into level `lvl` (1-indexed): boundary traffic plus
     /// local R2 writes.
     pub fn writes_into_level(&self, lvl: usize) -> u64 {
@@ -167,10 +173,7 @@ impl ExplicitHier {
     /// `(writes_to_fast, total_ldst)`.
     pub fn theorem1_check(&self, b: usize) -> (u64, u64) {
         let t = self.traffic.boundary(b);
-        (
-            t.writes_to_fast() + self.local_writes[b],
-            t.total_words(),
-        )
+        (t.writes_to_fast() + self.local_writes[b], t.total_words())
     }
 }
 

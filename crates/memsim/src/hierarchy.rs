@@ -70,6 +70,19 @@ impl MemSim {
         MemSim::new(&[cfg])
     }
 
+    /// Convenience: a single fully-associative true-LRU cache of `words`
+    /// words (8-word lines) over DRAM — the configuration every engine
+    /// `simmed` backend defaults to. Centralized here so the workload
+    /// crates cannot drift apart on line size or policy.
+    pub fn single_level_lru(words: usize) -> Self {
+        MemSim::two_level(CacheConfig {
+            capacity_words: words,
+            line_words: 8,
+            ways: 0,
+            policy: crate::policy::Policy::Lru,
+        })
+    }
+
     pub fn num_levels(&self) -> usize {
         self.levels.len()
     }
@@ -166,9 +179,11 @@ impl MemSim {
     }
 
     /// Drain all levels, writing dirty lines to DRAM. Returns the number of
-    /// lines flushed to DRAM. Flush-caused LLC victims are recorded in
-    /// `flush_victims_m`, *not* in `victims_m`, so the during-run counters
-    /// remain comparable to the paper's (cold-start, no-flush) runs.
+    /// lines flushed to DRAM. Flush-caused dirty evictions are recorded in
+    /// every drained level's `flush_victims_m` (they cross that level's
+    /// boundary on the way down), *not* in `victims_m`, so the during-run
+    /// counters remain comparable to the paper's (cold-start, no-flush)
+    /// runs.
     pub fn flush(&mut self) -> u64 {
         let n = self.levels.len();
         let mut flushed = 0;
@@ -177,11 +192,11 @@ impl MemSim {
             let drained = self.levels[i].drain();
             for (line, dirty) in drained {
                 if dirty {
+                    self.levels[i].counters.flush_victims_m += 1;
                     if i + 1 < n {
                         self.levels[i + 1].mark_dirty(line);
                     } else {
                         self.dram_writes_lines += 1;
-                        self.levels[i].counters.flush_victims_m += 1;
                         flushed += 1;
                     }
                 }

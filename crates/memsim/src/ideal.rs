@@ -41,7 +41,11 @@ impl BeladyCounters {
 /// `capacity_lines` lines over a recorded access trace. Victim = the
 /// resident line whose next use is farthest in the future (never-used
 /// lines first). Write-back semantics: dirty victims count as `victims_m`.
-pub fn simulate_belady(trace: &[Access], capacity_lines: usize, line_words: usize) -> BeladyCounters {
+pub fn simulate_belady(
+    trace: &[Access],
+    capacity_lines: usize,
+    line_words: usize,
+) -> BeladyCounters {
     assert!(capacity_lines > 0);
     let lw = line_words as u64;
     let lines: Vec<u64> = trace.iter().map(|a| a.addr as u64 / lw).collect();

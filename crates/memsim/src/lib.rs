@@ -30,6 +30,7 @@ pub mod hierarchy;
 pub mod ideal;
 pub mod mem;
 pub mod policy;
+pub mod report;
 pub mod writebuffer;
 pub mod xeon;
 
@@ -38,3 +39,4 @@ pub use explicit::ExplicitHier;
 pub use hierarchy::MemSim;
 pub use mem::{Mem, RawMem, SimMem, TraceMem};
 pub use policy::Policy;
+pub use report::{explicit_report, memsim_report};

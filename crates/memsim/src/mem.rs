@@ -28,6 +28,25 @@ pub trait Mem {
     }
 }
 
+/// Forwarding impl so code generic over `M: Mem` can also run through a
+/// `&mut dyn Mem` (pass `&mut mem_ref`): the engine's workload runners use
+/// this to hand one closure all four backends.
+impl<M: Mem + ?Sized> Mem for &mut M {
+    #[inline]
+    fn ld(&mut self, addr: usize) -> f64 {
+        (**self).ld(addr)
+    }
+
+    #[inline]
+    fn st(&mut self, addr: usize, v: f64) {
+        (**self).st(addr, v)
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+}
+
 /// Uninstrumented backing store.
 pub struct RawMem {
     pub data: Vec<f64>,

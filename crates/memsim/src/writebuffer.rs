@@ -22,12 +22,22 @@ pub fn serial_time(reads_words: u64, writes_words: u64, beta_read: f64, beta_wri
 }
 
 /// Best-case time with a write-buffer: full read/write overlap.
-pub fn overlapped_time(reads_words: u64, writes_words: u64, beta_read: f64, beta_write: f64) -> f64 {
+pub fn overlapped_time(
+    reads_words: u64,
+    writes_words: u64,
+    beta_read: f64,
+    beta_write: f64,
+) -> f64 {
     (reads_words as f64 * beta_read).max(writes_words as f64 * beta_write)
 }
 
 /// Speedup from perfect overlap; provably in [1, 2].
-pub fn overlap_speedup(reads_words: u64, writes_words: u64, beta_read: f64, beta_write: f64) -> f64 {
+pub fn overlap_speedup(
+    reads_words: u64,
+    writes_words: u64,
+    beta_read: f64,
+    beta_write: f64,
+) -> f64 {
     let s = serial_time(reads_words, writes_words, beta_read, beta_write);
     let o = overlapped_time(reads_words, writes_words, beta_read, beta_write);
     if o == 0.0 {
@@ -114,8 +124,7 @@ mod tests {
             .collect();
         let (base, buffered) = compare_with_buffer(&trace, cfg, 8);
         assert!(
-            buffered.victims_m + buffered.flush_victims_m
-                <= base.victims_m + base.flush_victims_m,
+            buffered.victims_m + buffered.flush_victims_m <= base.victims_m + base.flush_victims_m,
             "buffer-as-cache must not increase write-backs"
         );
         assert!(buffered.misses <= base.misses, "LRU inclusion property");

@@ -44,6 +44,24 @@ pub struct XeonGeometry {
 }
 
 impl XeonGeometry {
+    /// Geometry for an engine-level [`wa_core::Scale`]: `Paper` is the
+    /// reference ÷64 scaling; `Small` shrinks the L3 a further 4× (L1/L2
+    /// are already at a practical floor of 8 / 64 lines) and workloads
+    /// shrink linear dimensions a further 2× for fast sweeps.
+    /// `wa_bench::scale::Scale::geometry` delegates here.
+    pub fn for_scale(scale: wa_core::Scale, policy: Policy) -> Self {
+        match scale {
+            wa_core::Scale::Paper => XeonGeometry::scaled(64, policy),
+            wa_core::Scale::Small => XeonGeometry {
+                l1_words: 64,
+                l2_words: 512,
+                l3_words: 12 << 10,
+                line_words: LINE_WORDS,
+                policy,
+            },
+        }
+    }
+
     /// Capacities divided by `scale`; panics unless each level stays a
     /// whole number of lines.
     pub fn scaled(scale: usize, policy: Policy) -> Self {

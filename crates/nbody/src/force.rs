@@ -156,7 +156,11 @@ mod tests {
     #[test]
     fn phi2_zero_for_identical() {
         let p = Particle {
-            pos: Vec3 { x: 1.0, y: 2.0, z: 3.0 },
+            pos: Vec3 {
+                x: 1.0,
+                y: 2.0,
+                z: 3.0,
+            },
             mass: 2.0,
         };
         assert_eq!(phi2(p, p), Vec3::default());

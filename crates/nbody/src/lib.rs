@@ -16,6 +16,7 @@ pub mod explicit;
 pub mod force;
 pub mod simmed;
 pub mod symmetric;
+pub mod workloads;
 
 pub use explicit::{explicit_kbody_wa, explicit_nbody_wa};
 pub use force::{reference_forces, reference_forces_3body, Particle, Vec3};

@@ -108,10 +108,7 @@ mod tests {
             let b = Mat::random(n, n, 2);
             let mut m = Machine::new(q * q, CostParams::nvm_cluster());
             let c = cannon(&mut m, &a, &b, q, Staging::L2);
-            assert!(
-                c.max_abs_diff(&a.matmul_ref(&b)) < 1e-10,
-                "q={q}"
-            );
+            assert!(c.max_abs_diff(&a.matmul_ref(&b)) < 1e-10, "q={q}");
         }
     }
 

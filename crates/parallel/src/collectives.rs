@@ -75,7 +75,13 @@ pub fn charge_reduce(m: &mut Machine, root: usize, parties: &[usize], words: u64
 
 /// Charge a gather of one `words`-sized contribution from each party to
 /// `root` (paper's 2.5D step 1: `c` messages of size `2n²/P` each).
-pub fn charge_gather(m: &mut Machine, root: usize, parties: &[usize], words_each: u64, at: Staging) {
+pub fn charge_gather(
+    m: &mut Machine,
+    root: usize,
+    parties: &[usize],
+    words_each: u64,
+    at: Staging,
+) {
     for &p in parties {
         if p == root {
             continue;

@@ -91,8 +91,8 @@ pub fn table1_25dmml3(n: f64, p: f64, c2: f64, c3: f64, cp: &CostParams) -> Comm
     let nw_msgs = 2.0 * p.sqrt() * (1.0 / (c3.sqrt() * c2) + c3 * (1.0 + log2(c3) / c2) / p.sqrt());
     // L3→L2 rows: "same as for βNW − 2c3/P^{1/2}" plus the local
     // out-of-L2 read stream n³/(P √M2).
-    let l32_words = nw_words - (2.0 * n * n / p.sqrt()) * (2.0 * c3 / p.sqrt())
-        + n.powi(3) / p / m2.sqrt();
+    let l32_words =
+        nw_words - (2.0 * n * n / p.sqrt()) * (2.0 * c3 / p.sqrt()) + n.powi(3) / p / m2.sqrt();
     let l32_msgs = nw_msgs - 2.0 * p.sqrt() * (c3 / p.sqrt()) + n.powi(3) / p / m2.powf(1.5);
     // L2→L3 rows: "same as for βNW + .5/c3^{1/2}".
     let l23_words = nw_words + 0.5 * (2.0 * n * n / p.sqrt()) / c3.sqrt();
@@ -229,8 +229,8 @@ mod tests {
         assert!(w4 < w1);
         // Leading-term ratio approaches sqrt(c2) for huge P.
         let big_p = 1e12;
-        let r = table1_2dmml2(n, big_p, &cp()).nw_words
-            / table1_25dmml2(n, big_p, 4.0, &cp()).nw_words;
+        let r =
+            table1_2dmml2(n, big_p, &cp()).nw_words / table1_25dmml2(n, big_p, 4.0, &cp()).nw_words;
         assert!((r - 2.0).abs() < 0.05, "ratio {r}");
     }
 

@@ -27,6 +27,7 @@ pub mod machine;
 pub mod mm25d;
 pub mod model1;
 pub mod summa;
+pub mod workloads;
 
 pub use machine::{Machine, NodeCounters, Staging};
 pub use mm25d::{mm25d, Mm25Config};

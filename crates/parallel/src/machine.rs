@@ -112,7 +112,14 @@ impl Machine {
 
     /// Charge a point-to-point transfer of `words` from `src` to `dst`
     /// with the given staging at each end.
-    pub fn transfer(&mut self, src: usize, dst: usize, words: u64, src_at: Staging, dst_at: Staging) {
+    pub fn transfer(
+        &mut self,
+        src: usize,
+        dst: usize,
+        words: u64,
+        src_at: Staging,
+        dst_at: Staging,
+    ) {
         {
             let s = &mut self.nodes[src];
             if src_at == Staging::L3 {

@@ -188,10 +188,7 @@ mod tests {
             }
             let n = q * 4;
             let (got, _, a, b) = run(n, p, c, Staging::L2, false);
-            assert!(
-                got.max_abs_diff(&a.matmul_ref(&b)) < 1e-10,
-                "p={p} c={c}"
-            );
+            assert!(got.max_abs_diff(&a.matmul_ref(&b)) < 1e-10, "p={p} c={c}");
         }
     }
 
@@ -249,9 +246,7 @@ mod tests {
         let (_, m4, _, _) = run(n, 4096, 4, Staging::L3, false);
         let mut slow_net = CostParams::nvm_cluster();
         slow_net.beta_nw *= 100.0;
-        let t2 = m2
-            .max_counters()
-            .time(&slow_net);
+        let t2 = m2.max_counters().time(&slow_net);
         let t4 = m4.max_counters().time(&slow_net);
         assert!(
             t4 < t2,

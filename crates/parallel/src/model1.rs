@@ -89,7 +89,13 @@ fn run_summa_steps(m: &mut Machine, a: &Mat, b: &Mat, q: usize, m1: u64, hoard: 
             for i in 0..q {
                 for j in 0..q {
                     // Arithmetic...
-                    gemm_acc(&mut local_c[id(i, j)], a, b, (i * nb, j * nb), (ks, ks + nb));
+                    gemm_acc(
+                        &mut local_c[id(i, j)],
+                        a,
+                        b,
+                        (i * nb, j * nb),
+                        (ks, ks + nb),
+                    );
                     // ...charged as one local WA GEMM (Algorithm 1 counts).
                     m.local_wa_gemm(id(i, j), nb as u64, nb as u64, nb as u64, m1);
                 }

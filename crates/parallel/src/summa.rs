@@ -13,13 +13,7 @@ use wa_core::Mat;
 /// Multiply a sub-range of A and B into a C accumulator block:
 /// `C[ci.., cj..] += A[ci.., ks..ke] · B[ks..ke, cj..]` where C is the
 /// processor-local block with global offset `(ci, cj)`.
-fn gemm_into(
-    c: &mut Mat,
-    a: &Mat,
-    b: &Mat,
-    (ci, cj): (usize, usize),
-    (ks, ke): (usize, usize),
-) {
+fn gemm_into(c: &mut Mat, a: &Mat, b: &Mat, (ci, cj): (usize, usize), (ks, ke): (usize, usize)) {
     for i in 0..c.rows() {
         for j in 0..c.cols() {
             let mut acc = c[(i, j)];
@@ -66,13 +60,7 @@ pub fn summa(m: &mut Machine, a: &Mat, b: &Mat, q: usize, panel: usize, at: Stag
         // Local multiply-accumulate on every processor.
         for i in 0..q {
             for j in 0..q {
-                gemm_into(
-                    &mut local_c[id(i, j)],
-                    a,
-                    b,
-                    (i * nb, j * nb),
-                    (ks, ke),
-                );
+                gemm_into(&mut local_c[id(i, j)], a, b, (i * nb, j * nb), (ks, ke));
                 m.node_mut(id(i, j)).flops += 2 * (nb * nb) as u64 * w;
             }
         }

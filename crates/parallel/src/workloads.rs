@@ -1,0 +1,270 @@
+//! Engine registrations for the Section 7 distributed-memory models.
+//!
+//! The [`Machine`] counts per-node L1↔L2 / L2↔L3 / network words — an
+//! explicit model, so these register the `explicit` backend. The critical
+//! path (max-per-node counters) maps onto a three-boundary hierarchy:
+//! boundary 0 = L1↔L2, boundary 1 = L2↔L3 (the NVM writes the paper
+//! bounds as `W1`), boundary 2 = network (recv = load, send = store — the
+//! "slow memory" of a node is the rest of the machine, the Model 1
+//! reading). `raw` runs the same model and reports wall time plus the
+//! cost-model critical time.
+
+use crate::cannon::cannon;
+use crate::lu::{parallel_lu, LunpVariant};
+use crate::machine::{Machine, Staging};
+use crate::mm25d::{mm25d, Mm25Config};
+use crate::summa::{summa, summa_l3_ool2};
+use wa_core::engine::{BackendKind, EngineError, FnWorkload, Scale, Workload};
+use wa_core::report::{timed, RunReport};
+use wa_core::{BoundaryTraffic, CostParams, Mat, Traffic};
+
+fn dim(scale: Scale) -> usize {
+    match scale {
+        Scale::Small => 48,
+        Scale::Paper => 96,
+    }
+}
+
+/// Project critical-path node counters onto the report hierarchy.
+fn machine_report(name: &str, scale: Scale, m: &Machine) -> RunReport {
+    let c = m.max_counters();
+    let mut bt = BoundaryTraffic::new(4);
+    *bt.boundary_mut(0) = Traffic {
+        load_words: c.l2_read_words,
+        load_msgs: c.l2_read_msgs,
+        store_words: c.l2_write_words,
+        store_msgs: c.l2_write_msgs,
+    };
+    *bt.boundary_mut(1) = Traffic {
+        load_words: c.l3_read_words,
+        load_msgs: c.l3_read_msgs,
+        store_words: c.l3_write_words,
+        store_msgs: c.l3_write_msgs,
+    };
+    *bt.boundary_mut(2) = Traffic {
+        load_words: c.net_recv_words,
+        load_msgs: c.net_recv_msgs,
+        store_words: c.net_send_words,
+        store_msgs: c.net_send_msgs,
+    };
+    let mut r = RunReport::new(name, BackendKind::Explicit, scale)
+        .with_boundaries(&bt, &[])
+        .config("p", m.p())
+        .config(
+            "critical_time_model_s",
+            format!("{:.6e}", m.critical_time()),
+        )
+        .note("critical-path (max per node) counters; boundary 2 is the network");
+    r.flops = c.flops;
+    r
+}
+
+fn check(name: &str, got: &Mat, want: &Mat) -> Result<(), EngineError> {
+    if got.max_abs_diff(want) > 1e-8 {
+        return Err(EngineError::Failed {
+            workload: name.to_string(),
+            message: format!("numeric mismatch: {:.3e}", got.max_abs_diff(want)),
+        });
+    }
+    Ok(())
+}
+
+fn finish(
+    name: &str,
+    backend: BackendKind,
+    scale: Scale,
+    machine: &Machine,
+    ns: u128,
+    extra: &[(&str, String)],
+) -> Result<RunReport, EngineError> {
+    let mut r = match backend {
+        BackendKind::Explicit => machine_report(name, scale, machine),
+        BackendKind::Raw => RunReport::new(name, backend, scale)
+            .config("p", machine.p())
+            .config(
+                "critical_time_model_s",
+                format!("{:.6e}", machine.critical_time()),
+            ),
+        other => {
+            return Err(EngineError::UnsupportedBackend {
+                workload: name.to_string(),
+                backend: other,
+                supported: vec![BackendKind::Raw, BackendKind::Explicit],
+            })
+        }
+    };
+    for (k, v) in extra {
+        r = r.config(*k, v);
+    }
+    r.wall_ns = ns;
+    Ok(r)
+}
+
+pub fn workloads() -> Vec<Box<dyn Workload>> {
+    let backends = [BackendKind::Raw, BackendKind::Explicit];
+    vec![
+        FnWorkload::boxed(
+            "summa",
+            "parallel",
+            "classic SUMMA with L2 staging: 2n^2/sqrt(P) network words, no NVM traffic (7.1)",
+            &backends,
+            move |backend, scale| {
+                let n = dim(scale);
+                let q = 4;
+                let a = Mat::random(n, n, 101);
+                let b = Mat::random(n, n, 102);
+                let mut m = Machine::new(q * q, CostParams::nvm_cluster());
+                let (got, ns) = timed(|| summa(&mut m, &a, &b, q, n / q, Staging::L2));
+                check("summa", &got, &a.matmul_ref(&b))?;
+                finish(
+                    "summa",
+                    backend,
+                    scale,
+                    &m,
+                    ns,
+                    &[("n", n.to_string()), ("q", q.to_string())],
+                )
+            },
+        ),
+        FnWorkload::boxed(
+            "summa-ool2",
+            "parallel",
+            "SUMMAL3ooL2 (Model 2.2): tiles computed entirely in L2, attains W1 = n^2/P NVM writes",
+            &backends,
+            move |backend, scale| {
+                let n = dim(scale);
+                let (q, m2) = (4usize, 48u64);
+                let a = Mat::random(n, n, 108);
+                let b = Mat::random(n, n, 109);
+                let mut m = Machine::new(q * q, CostParams::nvm_cluster());
+                let (got, ns) = timed(|| summa_l3_ool2(&mut m, &a, &b, q, m2));
+                check("summa-ool2", &got, &a.matmul_ref(&b))?;
+                finish(
+                    "summa-ool2",
+                    backend,
+                    scale,
+                    &m,
+                    ns,
+                    &[
+                        ("n", n.to_string()),
+                        ("q", q.to_string()),
+                        ("m2_words", m2.to_string()),
+                    ],
+                )
+            },
+        ),
+        FnWorkload::boxed(
+            "cannon",
+            "parallel",
+            "Cannon's algorithm with L2 staging: same W1, lower network volume",
+            &backends,
+            move |backend, scale| {
+                let n = dim(scale);
+                let q = 4;
+                let a = Mat::random(n, n, 103);
+                let b = Mat::random(n, n, 104);
+                let mut m = Machine::new(q * q, CostParams::nvm_cluster());
+                let (got, ns) = timed(|| cannon(&mut m, &a, &b, q, Staging::L2));
+                check("cannon", &got, &a.matmul_ref(&b))?;
+                finish(
+                    "cannon",
+                    backend,
+                    scale,
+                    &m,
+                    ns,
+                    &[("n", n.to_string()), ("q", q.to_string())],
+                )
+            },
+        ),
+        FnWorkload::boxed(
+            "mm25d",
+            "parallel",
+            "2.5D matmul (c=2 replication): trades memory for W2 = n^2/sqrt(Pc) network words",
+            &backends,
+            move |backend, scale| {
+                let n = dim(scale);
+                let (p, c) = (18usize, 2usize);
+                let a = Mat::random(n, n, 105);
+                let b = Mat::random(n, n, 106);
+                let cfg = Mm25Config {
+                    p,
+                    c,
+                    at: Staging::L3,
+                    ool2: false,
+                    m2: 48,
+                };
+                let mut m = Machine::new(p, CostParams::nvm_cluster());
+                let (got, ns) = timed(|| mm25d(&mut m, &a, &b, cfg));
+                check("mm25d", &got, &a.matmul_ref(&b))?;
+                finish(
+                    "mm25d",
+                    backend,
+                    scale,
+                    &m,
+                    ns,
+                    &[("n", n.to_string()), ("c", c.to_string())],
+                )
+            },
+        ),
+        FnWorkload::boxed(
+            "lu-parallel",
+            "parallel",
+            "LL-LUNP: left-looking parallel LU, the WA order of 7.2",
+            &backends,
+            move |backend, scale| {
+                let n = dim(scale);
+                let mut a = Mat::random(n, n, 107);
+                for i in 0..n {
+                    a[(i, i)] = a[(i, i)].abs() + n as f64;
+                }
+                let mut m = Machine::new(16, CostParams::nvm_cluster());
+                let (_, ns) = timed(|| parallel_lu(&mut m, &mut a, 4, LunpVariant::LeftLooking));
+                finish(
+                    "lu-parallel",
+                    backend,
+                    scale,
+                    &m,
+                    ns,
+                    &[("n", n.to_string())],
+                )
+            },
+        ),
+    ]
+}
+
+/// Exposed for tests: the W1 bound SUMMA's report should attain.
+pub fn w1_words(n: usize, p: usize) -> u64 {
+    (n * n / p) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_parallel_workload_runs_on_each_declared_backend() {
+        for w in workloads() {
+            for &b in w.backends() {
+                w.run(b, Scale::Small)
+                    .unwrap_or_else(|e| panic!("{} on {b}: {e}", w.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn summa_ool2_report_attains_w1_on_the_nvm_boundary() {
+        let ws = workloads();
+        let w = ws.iter().find(|w| w.name() == "summa-ool2").unwrap();
+        let r = w.run(BackendKind::Explicit, Scale::Small).unwrap();
+        // Boundary 1 is L2<->L3 (NVM): stores must equal W1 = n^2/P.
+        assert_eq!(r.boundaries[1].store_words, w1_words(dim(Scale::Small), 16));
+    }
+
+    #[test]
+    fn classic_summa_never_writes_nvm_with_l2_staging() {
+        let ws = workloads();
+        let w = ws.iter().find(|w| w.name() == "summa").unwrap();
+        let r = w.run(BackendKind::Explicit, Scale::Small).unwrap();
+        assert_eq!(r.boundaries[1].store_words, 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Value-generation strategies: the `Strategy` trait and the combinators
+//! the in-tree tests use (ranges, tuples, `any`, `vec`, `select`).
+
+use crate::test_runner::ShimRng;
+use std::ops::Range;
+
+/// A source of random values of one type. Unlike real proptest there is no
+/// shrinking tree; `gen_value` draws a value directly.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+    fn gen_value(&self, rng: &mut ShimRng) -> Self::Value;
+
+    /// `strategy.prop_map(f)` — generate a value, then transform it.
+    fn prop_map<T: std::fmt::Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The combinator behind [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: std::fmt::Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut ShimRng) -> T {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut ShimRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut ShimRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut ShimRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy!(
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
+);
+
+/// `any::<T>()` for the types the tests draw without a range.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn gen_value(&self, rng: &mut ShimRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut ShimRng) -> f64 {
+        // Bounded uniform; adequate for numeric property tests.
+        (rng.unit_f64() - 0.5) * 2e6
+    }
+}
+
+macro_rules! any_int_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut ShimRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*
+    };
+}
+
+any_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `prop::collection::vec(element_strategy, len_range)`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut ShimRng) -> Vec<S::Value> {
+        let n = self.len.gen_value(rng);
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// `prop::sample::select(options)` — uniform choice from a non-empty list.
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut ShimRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+/// Boxed strategies so helper fns can return `impl Strategy<Value = T>`
+/// (already supported) or trait objects if ever needed.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut ShimRng) -> Self::Value {
+        (**self).gen_value(rng)
+    }
+}

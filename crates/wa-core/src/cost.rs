@@ -48,18 +48,18 @@ impl CostParams {
     pub fn nvm_cluster() -> Self {
         CostParams {
             alpha_nw: 1e-6,
-            beta_nw: 8.0 / 10e9,  // ~10 GB/s network
+            beta_nw: 8.0 / 10e9, // ~10 GB/s network
             alpha_23: 5e-6,
             beta_23: 8.0 / 0.5e9, // NVM write: 0.5 GB/s
             alpha_32: 2e-7,
-            beta_32: 8.0 / 5e9,   // NVM read: 5 GB/s
+            beta_32: 8.0 / 5e9, // NVM read: 5 GB/s
             alpha_12: 2e-9,
             beta_12: 8.0 / 50e9,
             alpha_21: 2e-9,
             beta_21: 8.0 / 50e9,
-            m1: 4 << 10,          // 32 KiB of f64
-            m2: 4 << 20,          // 32 MiB of f64
-            m3: 4 << 30,          // 32 GiB of f64
+            m1: 4 << 10, // 32 KiB of f64
+            m2: 4 << 20, // 32 MiB of f64
+            m3: 4 << 30, // 32 GiB of f64
         }
     }
 

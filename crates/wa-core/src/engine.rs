@@ -1,0 +1,348 @@
+//! The execution-engine layer: backends, scales, the [`Workload`] trait,
+//! and the [`Registry`] the harness drives.
+//!
+//! Every algorithm variant in the workspace registers once (name, group,
+//! supported backends, run function). The harness then offers a uniform
+//! surface — `harness list`, `harness run <workload> --backend <b>` — and
+//! cross-model checks can programmatically run the *same* workload on the
+//! explicit-movement model and the cache simulator and compare
+//! [`crate::report::RunReport`]s.
+
+use crate::report::RunReport;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How a workload executes and how its traffic is measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BackendKind {
+    /// Plain execution on raw memory: numerics + wall clock, no traffic.
+    Raw,
+    /// Every access walks the multi-level cache simulator; boundary
+    /// traffic is derived from fill/victim counters.
+    Simmed,
+    /// Accesses are recorded to an address trace; the report carries
+    /// trace statistics (length, distinct lines).
+    Traced,
+    /// The algorithm issues explicit block `load`/`store` operations whose
+    /// word counts are exact (the paper's Sections 2/4 accounting).
+    Explicit,
+}
+
+impl BackendKind {
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::Raw,
+        BackendKind::Simmed,
+        BackendKind::Traced,
+        BackendKind::Explicit,
+    ];
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BackendKind::Raw => "raw",
+            BackendKind::Simmed => "simmed",
+            BackendKind::Traced => "traced",
+            BackendKind::Explicit => "explicit",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "raw" => Some(BackendKind::Raw),
+            "simmed" | "sim" => Some(BackendKind::Simmed),
+            "traced" | "trace" => Some(BackendKind::Traced),
+            "explicit" => Some(BackendKind::Explicit),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Problem-size scale. The geometry mapping (cache capacities, matrix
+/// dimensions) lives with the crates that own those notions; this enum is
+/// just the shared selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Fast default: L3 capacity ÷256 vs. the paper's Xeon (L1/L2 stay at
+    /// the ÷64 floor), dimensions ÷16.
+    Small,
+    /// Reference scale: capacities ÷64, dimensions ÷8.
+    Paper,
+}
+
+impl Scale {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Why a run could not produce a report.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    UnknownWorkload {
+        name: String,
+    },
+    UnsupportedBackend {
+        workload: String,
+        backend: BackendKind,
+        supported: Vec<BackendKind>,
+    },
+    Failed {
+        workload: String,
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownWorkload { name } => {
+                write!(f, "unknown workload `{name}` (try `harness list`)")
+            }
+            EngineError::UnsupportedBackend {
+                workload,
+                backend,
+                supported,
+            } => {
+                let names: Vec<&str> = supported.iter().map(|b| b.as_str()).collect();
+                write!(
+                    f,
+                    "workload `{workload}` does not support backend `{backend}` (supported: {})",
+                    names.join(", ")
+                )
+            }
+            EngineError::Failed { workload, message } => {
+                write!(f, "workload `{workload}` failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// One registered algorithm variant.
+pub trait Workload: Send + Sync {
+    /// Registry name, unique, kebab-case (e.g. `matmul-wa`).
+    fn name(&self) -> &str;
+    /// Owning group — by convention the crate name (`dense`, `nbody`, …).
+    fn group(&self) -> &str;
+    /// One-line description (paper artifact it reproduces).
+    fn description(&self) -> &str;
+    /// Backends this workload can execute on.
+    fn backends(&self) -> &[BackendKind];
+    /// Execute on `backend` at `scale`.
+    fn run(&self, backend: BackendKind, scale: Scale) -> Result<RunReport, EngineError>;
+
+    fn supports(&self, backend: BackendKind) -> bool {
+        self.backends().contains(&backend)
+    }
+}
+
+/// A [`Workload`] assembled from plain data plus a run closure — the
+/// one-liner registration form the algorithm crates use.
+pub struct FnWorkload {
+    pub name: &'static str,
+    pub group: &'static str,
+    pub description: &'static str,
+    pub backends: Vec<BackendKind>,
+    #[allow(clippy::type_complexity)]
+    pub run: Box<dyn Fn(BackendKind, Scale) -> Result<RunReport, EngineError> + Send + Sync>,
+}
+
+impl FnWorkload {
+    pub fn boxed(
+        name: &'static str,
+        group: &'static str,
+        description: &'static str,
+        backends: &[BackendKind],
+        run: impl Fn(BackendKind, Scale) -> Result<RunReport, EngineError> + Send + Sync + 'static,
+    ) -> Box<dyn Workload> {
+        Box::new(FnWorkload {
+            name,
+            group,
+            description,
+            backends: backends.to_vec(),
+            run: Box::new(run),
+        })
+    }
+}
+
+impl Workload for FnWorkload {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn group(&self) -> &str {
+        self.group
+    }
+
+    fn description(&self) -> &str {
+        self.description
+    }
+
+    fn backends(&self) -> &[BackendKind] {
+        &self.backends
+    }
+
+    fn run(&self, backend: BackendKind, scale: Scale) -> Result<RunReport, EngineError> {
+        if !self.supports(backend) {
+            return Err(EngineError::UnsupportedBackend {
+                workload: self.name.to_string(),
+                backend,
+                supported: self.backends.clone(),
+            });
+        }
+        (self.run)(backend, scale)
+    }
+}
+
+/// Name-indexed collection of workloads. Registration order is preserved
+/// for listing; lookup is by exact name.
+#[derive(Default)]
+pub struct Registry {
+    order: Vec<String>,
+    by_name: BTreeMap<String, Box<dyn Workload>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register one workload. Panics on a duplicate name: duplicates are
+    /// always a programming error in the registering crate.
+    pub fn register(&mut self, w: Box<dyn Workload>) {
+        let name = w.name().to_string();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate workload registration: {name}"
+        );
+        self.order.push(name.clone());
+        self.by_name.insert(name, w);
+    }
+
+    /// Register a whole batch (the per-crate `workloads()` vectors).
+    pub fn register_all(&mut self, ws: Vec<Box<dyn Workload>>) {
+        for w in ws {
+            self.register(w);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    pub fn get(&self, name: &str) -> Option<&dyn Workload> {
+        self.by_name.get(name).map(|b| b.as_ref())
+    }
+
+    /// Workloads in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Workload> {
+        self.order.iter().map(|n| self.by_name[n].as_ref())
+    }
+
+    /// Run `name` on `backend` at `scale`.
+    pub fn run(
+        &self,
+        name: &str,
+        backend: BackendKind,
+        scale: Scale,
+    ) -> Result<RunReport, EngineError> {
+        let w = self.get(name).ok_or_else(|| EngineError::UnknownWorkload {
+            name: name.to_string(),
+        })?;
+        w.run(backend, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(name: &'static str) -> Box<dyn Workload> {
+        FnWorkload::boxed(
+            name,
+            "test",
+            "a test workload",
+            &[BackendKind::Raw],
+            move |b, s| Ok(RunReport::new(name, b, s)),
+        )
+    }
+
+    #[test]
+    fn register_lookup_run() {
+        let mut r = Registry::new();
+        r.register(dummy("w1"));
+        r.register(dummy("w2"));
+        assert_eq!(r.len(), 2);
+        assert_eq!(
+            r.iter().map(|w| w.name().to_string()).collect::<Vec<_>>(),
+            ["w1", "w2"]
+        );
+        let rep = r.run("w1", BackendKind::Raw, Scale::Small).unwrap();
+        assert_eq!(rep.workload, "w1");
+    }
+
+    #[test]
+    fn unsupported_backend_lists_supported() {
+        let mut r = Registry::new();
+        r.register(dummy("w"));
+        let err = r.run("w", BackendKind::Simmed, Scale::Small).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("does not support"), "{msg}");
+        assert!(msg.contains("raw"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_workload_is_reported() {
+        let r = Registry::new();
+        assert!(matches!(
+            r.run("nope", BackendKind::Raw, Scale::Small),
+            Err(EngineError::UnknownWorkload { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate workload registration")]
+    fn duplicate_names_panic() {
+        let mut r = Registry::new();
+        r.register(dummy("w"));
+        r.register(dummy("w"));
+    }
+
+    #[test]
+    fn backend_and_scale_round_trip() {
+        for b in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(b.as_str()), Some(b));
+        }
+        for s in [Scale::Small, Scale::Paper] {
+            assert_eq!(Scale::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(BackendKind::parse("bogus"), None);
+    }
+}

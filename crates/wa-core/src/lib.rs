@@ -17,15 +17,28 @@
 //! * [`cost`] — hardware cost parameters (latency α / reciprocal bandwidth β
 //!   per boundary) used by the Section 7 performance models;
 //! * [`rng`] — a tiny deterministic xorshift generator so all crates can
-//!   build reproducible workloads without coordinating `rand` versions.
+//!   build reproducible workloads without coordinating `rand` versions;
+//! * [`engine`] — the execution-engine layer: [`engine::BackendKind`]
+//!   (raw / simmed / traced / explicit), the [`engine::Workload`] trait
+//!   every algorithm variant registers through, and the
+//!   [`engine::Registry`] the harness drives;
+//! * [`report`] — [`report::RunReport`], the uniform JSON-emitting result
+//!   type both measurement models project into;
+//! * [`par`] — scoped-thread `par_map` for parallel scenario sweeps
+//!   (rayon is unavailable in the offline build environment).
 
 pub mod bounds;
 pub mod cost;
+pub mod engine;
 pub mod matrix;
+pub mod par;
+pub mod report;
 pub mod rng;
 pub mod traffic;
 
 pub use cost::CostParams;
+pub use engine::{BackendKind, EngineError, FnWorkload, Registry, Scale, Workload};
 pub use matrix::Mat;
+pub use report::RunReport;
 pub use rng::XorShift;
 pub use traffic::{BoundaryTraffic, Traffic};

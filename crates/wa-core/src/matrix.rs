@@ -126,20 +126,24 @@ impl Mat {
 
     /// Lower-triangular part (including diagonal), rest zeroed.
     pub fn lower_triangular(&self) -> Mat {
-        Mat::from_fn(
-            self.rows,
-            self.cols,
-            |i, j| if j <= i { self[(i, j)] } else { 0.0 },
-        )
+        Mat::from_fn(self.rows, self.cols, |i, j| {
+            if j <= i {
+                self[(i, j)]
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Upper-triangular part (including diagonal), rest zeroed.
     pub fn upper_triangular(&self) -> Mat {
-        Mat::from_fn(
-            self.rows,
-            self.cols,
-            |i, j| if j >= i { self[(i, j)] } else { 0.0 },
-        )
+        Mat::from_fn(self.rows, self.cols, |i, j| {
+            if j >= i {
+                self[(i, j)]
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Random well-conditioned upper-triangular matrix (unit-ish diagonal).

@@ -1,0 +1,94 @@
+//! Scoped-thread parallel map for scenario sweeps.
+//!
+//! The build environment is offline, so rayon is unavailable; this is the
+//! few-dozen-line subset the harness needs — a work-stealing `par_map`
+//! over a slice using `std::thread::scope` and an atomic work index.
+//! Order of results matches the input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers to use when the caller does not care: the machine's
+/// available parallelism, capped by the number of items.
+pub fn default_threads(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items)
+        .max(1)
+}
+
+/// Apply `f` to every element of `items` on up to `threads` worker
+/// threads. Results are returned in input order. Panics in `f` propagate.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, n);
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().unwrap() = Some(r);
+            }));
+        }
+        for h in handles {
+            h.join().expect("par_map worker panicked");
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker skipped a slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..103).collect();
+        let out = par_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, (0..103).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_and_empty_input() {
+        assert_eq!(
+            par_map::<usize, usize, _>(&[], 4, |&x| x),
+            Vec::<usize>::new()
+        );
+        assert_eq!(par_map(&[5], 4, |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = par_map(&[1, 2, 3], 64, |&x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn default_threads_is_sane() {
+        assert!(default_threads(100) >= 1);
+        assert_eq!(default_threads(0), 1);
+        assert!(default_threads(1) == 1);
+    }
+}

@@ -15,7 +15,11 @@ impl XorShift {
     /// Create a generator; a zero seed is remapped to a fixed odd constant.
     pub fn new(seed: u64) -> Self {
         XorShift {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 

@@ -26,7 +26,12 @@ fn main() {
         "{:<26} {:>10} {:>10} {:>10} {:>12}",
         "configuration", "net words", "NVM reads", "NVM writes", "est. time(s)"
     );
-    for (c, at) in [(1, Staging::L2), (4, Staging::L2), (4, Staging::L3), (16, Staging::L3)] {
+    for (c, at) in [
+        (1, Staging::L2),
+        (4, Staging::L2),
+        (4, Staging::L3),
+        (16, Staging::L3),
+    ] {
         let q2 = p / c;
         let q = (q2 as f64).sqrt() as usize;
         if q * q * c != p || n % q != 0 {

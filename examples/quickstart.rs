@@ -75,5 +75,7 @@ fn main() {
             n * n / 8
         );
     }
-    println!("\nk-innermost keeps write-backs at the output size; k-outermost rewrites C every panel.");
+    println!(
+        "\nk-innermost keeps write-backs at the output size; k-outermost rewrites C every panel."
+    );
 }

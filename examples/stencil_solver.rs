@@ -62,14 +62,15 @@ fn main() {
             &mut io,
         );
         report(name, r.iters, &io, r.residual);
-        let err = r
-            .x
-            .iter()
-            .zip(&x_true)
-            .map(|(u, v)| (u - v).abs())
-            .fold(0.0, f64::max);
+        let err =
+            r.x.iter()
+                .zip(&x_true)
+                .map(|(u, v)| (u - v).abs())
+                .fold(0.0, f64::max);
         assert!(err < 1e-5, "solution error {err}");
     }
 
-    println!("\nStreaming matrix powers: ~4n writes/CG-step -> ~3n/s writes/step, paying <=2x reads.");
+    println!(
+        "\nStreaming matrix powers: ~4n writes/CG-step -> ~3n/s writes/step, paying <=2x reads."
+    );
 }

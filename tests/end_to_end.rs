@@ -49,7 +49,10 @@ fn wa_matmul_attains_both_bounds_in_the_simulator() {
     // Total traffic respects the load/store lower bound.
     let total_words = (c.fills + c.victims_m + c.flush_victims_m) * 8;
     let lb = bounds::matmul_ldst_lower(n as u64, n as u64, n as u64, m_words as u64);
-    assert!(total_words as f64 > lb, "traffic {total_words} below bound {lb}");
+    assert!(
+        total_words as f64 > lb,
+        "traffic {total_words} below bound {lb}"
+    );
 }
 
 /// Theorem 3 across crates: the cache-oblivious order cannot be WA at any
