@@ -27,8 +27,9 @@
 use wa_bench::registry::registry;
 use wa_bench::scale::Repl;
 use wa_bench::{bounds_exp, fig2, fig5, ksm, lu_par, props, sorting, tables, theorem4, waopt};
-use wa_core::engine::{BackendKind, Workload};
+use wa_core::engine::{BackendKind, EngineError, Workload};
 use wa_core::par::{default_threads, par_map};
+use wa_core::report::{median_wall_ns, RunReport};
 use wa_core::{CostParams, Registry, Scale};
 
 fn main() {
@@ -50,9 +51,47 @@ fn main() {
 
 fn usage(code: i32) -> ! {
     eprintln!(
-        "usage:\n  harness list [--json]\n  harness run <workload> [--backend B] [--scale S] [--json]\n  harness sweep [--group G] [--backend B] [--scale S] [--threads N] [--json]\n  harness exp <command> [--scale small|paper] [--policy P]   (exp all = every paper artifact)"
+        "usage:\n  harness list [--json]\n  harness run <workload> [--backend B] [--scale S] [--repeat N] [--json]\n  harness sweep [--group G] [--backend B] [--scale S] [--threads N] [--repeat N] [--json|--csv]\n  harness exp <command> [--scale small|paper] [--policy P]   (exp all = every paper artifact)\n\n  --repeat N  run each scenario N times; the report carries the median wall time\n  --csv       sweep only: one CSV row per scenario (schema: RunReport::CSV_HEADER)"
     );
     std::process::exit(code);
+}
+
+/// Parse `--repeat N` (default 1).
+fn parse_repeat(args: &[String]) -> usize {
+    match flag_value(args, "--repeat") {
+        None => 1,
+        Some(s) => match s.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("bad --repeat `{s}` (expected a positive integer)");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// Run one scenario `repeat` times; the returned report is the last run's
+/// with the *median* wall time over all runs (echoed in config when
+/// repeated), so sweep timings are stable against scheduler noise.
+fn run_repeated(
+    w: &dyn Workload,
+    backend: BackendKind,
+    scale: Scale,
+    repeat: usize,
+) -> Result<RunReport, EngineError> {
+    let mut walls = Vec::with_capacity(repeat);
+    let mut last = None;
+    for _ in 0..repeat {
+        let r = w.run(backend, scale)?;
+        walls.push(r.wall_ns);
+        last = Some(r);
+    }
+    let mut r = last.expect("repeat >= 1");
+    r.wall_ns = median_wall_ns(&walls);
+    if repeat > 1 {
+        r = r.config("repeat", repeat);
+    }
+    Ok(r)
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -137,7 +176,7 @@ fn run(reg: &Registry, args: &[String]) {
     };
     let backend = parse_backend(args).unwrap_or_else(|| w.backends()[0]);
     let scale = parse_scale(args);
-    match w.run(backend, scale) {
+    match run_repeated(w, backend, scale, parse_repeat(args)) {
         Ok(report) => {
             if has_flag(args, "--json") {
                 println!("{}", report.to_json());
@@ -163,6 +202,12 @@ fn sweep(reg: &Registry, args: &[String]) {
     let only_backend = parse_backend(args);
     let only_group = flag_value(args, "--group");
     let json = has_flag(args, "--json");
+    let csv = has_flag(args, "--csv");
+    let repeat = parse_repeat(args);
+    if json && csv {
+        eprintln!("--json and --csv are mutually exclusive");
+        std::process::exit(2);
+    }
 
     let scenarios: Vec<Scenario> = reg
         .iter()
@@ -201,12 +246,23 @@ fn sweep(reg: &Registry, args: &[String]) {
         (
             s.workload.name(),
             s.backend,
-            s.workload.run(s.backend, scale),
+            run_repeated(s.workload, s.backend, scale, repeat),
         )
     });
 
     let mut failures = 0usize;
-    if json {
+    if csv {
+        println!("{}", RunReport::CSV_HEADER);
+        for (name, backend, res) in &results {
+            match res {
+                Ok(r) => println!("{}", r.to_csv_row()),
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("FAIL {name} on {backend}: {e}");
+                }
+            }
+        }
+    } else if json {
         let mut out = String::from("[");
         let mut first = true;
         for (name, backend, res) in &results {

@@ -32,8 +32,8 @@ pub fn run_rows(nx: usize, s: usize, outers: usize) -> Vec<KsmRow> {
     out.push(KsmRow {
         method: "CG".into(),
         steps,
-        writes: io.writes,
-        reads: io.reads,
+        writes: io.writes(),
+        reads: io.reads(),
         flops: io.flops,
         residual: r.residual,
     });
@@ -57,8 +57,8 @@ pub fn run_rows(nx: usize, s: usize, outers: usize) -> Vec<KsmRow> {
         out.push(KsmRow {
             method: name.into(),
             steps,
-            writes: io.writes,
-            reads: io.reads,
+            writes: io.writes(),
+            reads: io.reads(),
             flops: io.flops,
             residual: r.residual,
         });

@@ -27,15 +27,15 @@ pub fn run(n: usize, m: usize) {
     let rows = vec![
         vec![
             "k-way merge sort".to_string(),
-            io1.reads.to_string(),
-            io1.writes.to_string(),
+            io1.reads().to_string(),
+            io1.writes().to_string(),
             io1.passes.to_string(),
             format!("{:.2}", io1.write_fraction()),
         ],
         vec![
             "low-write selection".to_string(),
-            io2.reads.to_string(),
-            io2.writes.to_string(),
+            io2.reads().to_string(),
+            io2.writes().to_string(),
             io2.passes.to_string(),
             format!("{:.2}", io2.write_fraction()),
         ],

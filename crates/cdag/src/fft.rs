@@ -61,20 +61,20 @@ impl Complex {
 /// where loop indices and scalars live above the studied boundary.
 pub fn fft_mem<M: Mem>(mem: &mut M, base: usize, n: usize) {
     assert!(n.is_power_of_two(), "radix-2 FFT needs a power of two");
-    // Bit-reversal permutation.
+    // Bit-reversal permutation. Each complex element is one 2-word run.
     let bits = n.trailing_zeros();
     for i in 0..n {
         let j = (i as u64).reverse_bits().wrapping_shr(64 - bits) as usize;
         if j > i {
-            for k in 0..2 {
-                let a = mem.ld(base + 2 * i + k);
-                let b = mem.ld(base + 2 * j + k);
-                mem.st(base + 2 * i + k, b);
-                mem.st(base + 2 * j + k, a);
-            }
+            let (mut ei, mut ej) = ([0.0; 2], [0.0; 2]);
+            mem.ld_run(base + 2 * i, &mut ei);
+            mem.ld_run(base + 2 * j, &mut ej);
+            mem.st_run(base + 2 * i, &ej);
+            mem.st_run(base + 2 * j, &ei);
         }
     }
-    // Butterfly passes.
+    // Butterfly passes: the two operands and two results of each
+    // butterfly move as 2-word (re, im) runs.
     let mut len = 2;
     while len <= n {
         let ang = -2.0 * std::f64::consts::PI / len as f64;
@@ -85,14 +85,15 @@ pub fn fft_mem<M: Mem>(mem: &mut M, base: usize, n: usize) {
             for k in 0..len / 2 {
                 let ia = base + 2 * (i + k);
                 let ib = base + 2 * (i + k + len / 2);
-                let u = Complex::new(mem.ld(ia), mem.ld(ia + 1));
-                let v = Complex::new(mem.ld(ib), mem.ld(ib + 1)).mul(w);
+                let (mut eu, mut ev) = ([0.0; 2], [0.0; 2]);
+                mem.ld_run(ia, &mut eu);
+                mem.ld_run(ib, &mut ev);
+                let u = Complex::new(eu[0], eu[1]);
+                let v = Complex::new(ev[0], ev[1]).mul(w);
                 let s = u.add(v);
                 let d = u.sub(v);
-                mem.st(ia, s.re);
-                mem.st(ia + 1, s.im);
-                mem.st(ib, d.re);
-                mem.st(ib + 1, d.im);
+                mem.st_run(ia, &[s.re, s.im]);
+                mem.st_run(ib, &[d.re, d.im]);
                 w = w.mul(wlen);
             }
             i += len;

@@ -18,42 +18,53 @@ pub fn strassen_scratch_words(n: usize) -> usize {
     3 * n * n + 64
 }
 
-/// Zero a region through the access stream.
+/// Zero a region through the access stream, one row-run at a time.
 fn zero<M: Mem>(mem: &mut M, d: MatDesc) {
+    let zrow = vec![0.0; d.cols];
     for i in 0..d.rows {
-        for j in 0..d.cols {
-            mem.st(d.idx(i, j), 0.0);
-        }
+        mem.st_run(d.idx(i, 0), &zrow);
     }
 }
 
-/// `dst = x + y` elementwise.
+/// `dst = x + y` elementwise, rows as runs.
 fn add<M: Mem>(mem: &mut M, x: MatDesc, y: MatDesc, dst: MatDesc) {
+    let mut xr = vec![0.0; dst.cols];
+    let mut yr = vec![0.0; dst.cols];
     for i in 0..dst.rows {
-        for j in 0..dst.cols {
-            let v = mem.ld(x.idx(i, j)) + mem.ld(y.idx(i, j));
-            mem.st(dst.idx(i, j), v);
+        mem.ld_run(x.idx(i, 0), &mut xr);
+        mem.ld_run(y.idx(i, 0), &mut yr);
+        for (a, b) in xr.iter_mut().zip(&yr) {
+            *a += b;
         }
+        mem.st_run(dst.idx(i, 0), &xr);
     }
 }
 
-/// `dst = x - y` elementwise.
+/// `dst = x - y` elementwise, rows as runs.
 fn sub<M: Mem>(mem: &mut M, x: MatDesc, y: MatDesc, dst: MatDesc) {
+    let mut xr = vec![0.0; dst.cols];
+    let mut yr = vec![0.0; dst.cols];
     for i in 0..dst.rows {
-        for j in 0..dst.cols {
-            let v = mem.ld(x.idx(i, j)) - mem.ld(y.idx(i, j));
-            mem.st(dst.idx(i, j), v);
+        mem.ld_run(x.idx(i, 0), &mut xr);
+        mem.ld_run(y.idx(i, 0), &mut yr);
+        for (a, b) in xr.iter_mut().zip(&yr) {
+            *a -= b;
         }
+        mem.st_run(dst.idx(i, 0), &xr);
     }
 }
 
-/// `dst += x` / `dst -= x` elementwise.
+/// `dst += x` / `dst -= x` elementwise, rows as runs.
 fn acc<M: Mem>(mem: &mut M, x: MatDesc, dst: MatDesc, sign: f64) {
+    let mut xr = vec![0.0; dst.cols];
+    let mut dr = vec![0.0; dst.cols];
     for i in 0..dst.rows {
-        for j in 0..dst.cols {
-            let v = mem.ld(dst.idx(i, j)) + sign * mem.ld(x.idx(i, j));
-            mem.st(dst.idx(i, j), v);
+        mem.ld_run(dst.idx(i, 0), &mut dr);
+        mem.ld_run(x.idx(i, 0), &mut xr);
+        for (d, x) in dr.iter_mut().zip(&xr) {
+            *d += sign * x;
         }
+        mem.st_run(dst.idx(i, 0), &dr);
     }
 }
 

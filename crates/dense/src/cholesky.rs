@@ -14,21 +14,28 @@ pub enum CholVariant {
 }
 
 /// Unblocked in-place Cholesky of a diagonal block (lower triangle).
+/// Row-run form: the row-`j` prefix is loaded once per pivot and each
+/// row-`i` prefix streams as one run.
 fn chol_base<M: Mem>(mem: &mut M, a: MatDesc) {
     debug_assert_eq!(a.rows, a.cols);
+    let mut jrow = vec![0.0; a.cols];
+    let mut irow = vec![0.0; a.cols];
     for j in 0..a.rows {
+        let jr = &mut jrow[..j];
+        mem.ld_run(a.idx(j, 0), jr);
         let mut djj = mem.ld(a.idx(j, j));
-        for k in 0..j {
-            let v = mem.ld(a.idx(j, k));
+        for v in jr.iter() {
             djj -= v * v;
         }
         assert!(djj > 0.0, "matrix not positive definite");
         let ljj = djj.sqrt();
         mem.st(a.idx(j, j), ljj);
         for i in j + 1..a.rows {
+            let ir = &mut irow[..j];
+            mem.ld_run(a.idx(i, 0), ir);
             let mut v = mem.ld(a.idx(i, j));
-            for k in 0..j {
-                v -= mem.ld(a.idx(i, k)) * mem.ld(a.idx(j, k));
+            for (x, y) in ir.iter().zip(jrow[..j].iter()) {
+                v -= x * y;
             }
             mem.st(a.idx(i, j), v / ljj);
         }
@@ -36,33 +43,46 @@ fn chol_base<M: Mem>(mem: &mut M, a: MatDesc) {
 }
 
 /// Lower-half SYRK: `C -= X·Xᵀ` restricted to `j ≤ i` (C diagonal block).
+/// Rows of `X` and the row-`i` prefix of `C` are the contiguous runs.
 fn syrk_base<M: Mem>(mem: &mut M, x: MatDesc, c: MatDesc) {
     debug_assert_eq!(c.rows, c.cols);
     debug_assert_eq!(x.rows, c.rows);
+    let mut xi = vec![0.0; x.cols];
+    let mut xj = vec![0.0; x.cols];
+    let mut crow = vec![0.0; c.cols];
     for i in 0..c.rows {
-        for j in 0..=i {
-            let mut acc = mem.ld(c.idx(i, j));
-            for k in 0..x.cols {
-                acc -= mem.ld(x.idx(i, k)) * mem.ld(x.idx(j, k));
-            }
-            mem.st(c.idx(i, j), acc);
+        mem.ld_run(x.idx(i, 0), &mut xi);
+        let cr = &mut crow[..i + 1];
+        mem.ld_run(c.idx(i, 0), cr);
+        for (j, cj) in cr.iter_mut().enumerate() {
+            mem.ld_run(x.idx(j, 0), &mut xj);
+            let acc: f64 = xi.iter().zip(&xj).map(|(u, v)| u * v).sum();
+            *cj -= acc;
         }
+        mem.st_run(c.idx(i, 0), cr);
     }
 }
 
-/// Solve `X · Lᵀ = B` in place (B := B·L⁻ᵀ) for factored lower-triangular L.
+/// Solve `X · Lᵀ = B` in place (B := B·L⁻ᵀ) for factored lower-triangular
+/// L. Each row of `B` is solved in a register buffer (loaded and stored
+/// as one run); the row-`c` prefix of `L` is one run per column step.
 fn trsm_rt_base<M: Mem>(mem: &mut M, l: MatDesc, b: MatDesc) {
     debug_assert_eq!(l.rows, l.cols);
     debug_assert_eq!(b.cols, l.rows);
+    let mut brow = vec![0.0; b.cols];
+    let mut lrow = vec![0.0; l.cols];
     for i in 0..b.rows {
+        mem.ld_run(b.idx(i, 0), &mut brow);
         for c in 0..l.rows {
-            let mut acc = mem.ld(b.idx(i, c));
-            for t in 0..c {
-                acc -= mem.ld(b.idx(i, t)) * mem.ld(l.idx(c, t));
+            let lr = &mut lrow[..c + 1];
+            mem.ld_run(l.idx(c, 0), lr); // L(c, 0..=c) incl. the diagonal
+            let mut acc = brow[c];
+            for (bt, lt) in brow[..c].iter().zip(lr.iter()) {
+                acc -= bt * lt;
             }
-            let lcc = mem.ld(l.idx(c, c));
-            mem.st(b.idx(i, c), acc / lcc);
+            brow[c] = acc / lr[c];
         }
+        mem.st_run(b.idx(i, 0), &brow);
     }
 }
 

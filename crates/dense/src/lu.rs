@@ -18,53 +18,79 @@ pub enum LuVariant {
     RightLooking,
 }
 
-/// Unblocked in-place LU (no pivoting) of a diagonal block.
+/// Unblocked in-place LU (no pivoting) of a diagonal block. Row-run
+/// form: the pivot row's tail is loaded once per pivot, each updated
+/// row's tail streams in and out as one run.
 fn lu_base<M: Mem>(mem: &mut M, a: MatDesc) {
     debug_assert_eq!(a.rows, a.cols);
+    let mut urow = vec![0.0; a.cols];
+    let mut arow = vec![0.0; a.cols];
     for k in 0..a.rows {
         let akk = mem.ld(a.idx(k, k));
         assert!(akk.abs() > 1e-300, "zero pivot without pivoting");
+        let tail = a.cols - k - 1;
+        if tail > 0 {
+            mem.ld_run(a.idx(k, k + 1), &mut urow[..tail]);
+        }
         for i in k + 1..a.rows {
             let lik = mem.ld(a.idx(i, k)) / akk;
             mem.st(a.idx(i, k), lik);
-            for j in k + 1..a.cols {
-                let v = mem.ld(a.idx(i, j)) - lik * mem.ld(a.idx(k, j));
-                mem.st(a.idx(i, j), v);
+            if tail == 0 {
+                continue;
             }
+            let ar = &mut arow[..tail];
+            mem.ld_run(a.idx(i, k + 1), ar);
+            for (v, u) in ar.iter_mut().zip(urow[..tail].iter()) {
+                *v -= lik * u;
+            }
+            mem.st_run(a.idx(i, k + 1), &arow[..tail]);
         }
     }
 }
 
 /// Solve `L·X = B` in place (unit lower-triangular L from a factored
-/// diagonal block): forward substitution. Produces a `U` block.
+/// diagonal block): forward substitution, row-run form — row `i` of `B`
+/// accumulates updates from the finalized rows above it, all rows moving
+/// as contiguous runs.
 fn trsm_lower_unit<M: Mem>(mem: &mut M, l: MatDesc, b: MatDesc) {
     debug_assert_eq!(l.rows, l.cols);
     debug_assert_eq!(b.rows, l.rows);
-    for j in 0..b.cols {
-        for i in 0..b.rows {
-            let mut acc = mem.ld(b.idx(i, j));
-            for k in 0..i {
-                acc -= mem.ld(l.idx(i, k)) * mem.ld(b.idx(k, j));
+    let mut lrow = vec![0.0; l.cols];
+    let mut xrow = vec![0.0; b.cols];
+    let mut brow = vec![0.0; b.cols];
+    for i in 0..b.rows {
+        let lr = &mut lrow[..i];
+        mem.ld_run(l.idx(i, 0), lr);
+        mem.ld_run(b.idx(i, 0), &mut xrow);
+        for (k, &lik) in lrow[..i].iter().enumerate() {
+            mem.ld_run(b.idx(k, 0), &mut brow);
+            for (x, bk) in xrow.iter_mut().zip(&brow) {
+                *x -= lik * bk;
             }
-            mem.st(b.idx(i, j), acc);
         }
+        mem.st_run(b.idx(i, 0), &xrow);
     }
 }
 
 /// Solve `X·U = B` in place (upper-triangular U from a factored diagonal
-/// block). Produces an `L` block.
+/// block). Produces an `L` block. Each row of `B` solves in a register
+/// buffer (one run in, one out); `U` is consumed down columns, so its
+/// reads stay word-granular.
 fn trsm_upper_right<M: Mem>(mem: &mut M, u: MatDesc, b: MatDesc) {
     debug_assert_eq!(u.rows, u.cols);
     debug_assert_eq!(b.cols, u.rows);
+    let mut brow = vec![0.0; b.cols];
     for i in 0..b.rows {
+        mem.ld_run(b.idx(i, 0), &mut brow);
         for c in 0..u.cols {
-            let mut acc = mem.ld(b.idx(i, c));
-            for t in 0..c {
-                acc -= mem.ld(b.idx(i, t)) * mem.ld(u.idx(t, c));
+            let mut acc = brow[c];
+            for (t, &bt) in brow[..c].iter().enumerate() {
+                acc -= bt * mem.ld(u.idx(t, c));
             }
             let ucc = mem.ld(u.idx(c, c));
-            mem.st(b.idx(i, c), acc / ucc);
+            brow[c] = acc / ucc;
         }
+        mem.st_run(b.idx(i, 0), &brow);
     }
 }
 

@@ -19,19 +19,31 @@ pub enum TrsmVariant {
 }
 
 /// Unblocked back substitution on the diagonal block:
-/// `T[diag] · X = B[bi, j]` in place.
+/// `T[diag] · X = B[bi, j]` in place. Row-run form: row `i` of `T` (from
+/// the diagonal) and each row of `B` move as contiguous runs; row `i` of
+/// `B` is solved in a register buffer and stored once.
 fn solve_diag<M: Mem>(mem: &mut M, t: MatDesc, b: MatDesc) {
     debug_assert_eq!(t.rows, t.cols);
     debug_assert_eq!(t.rows, b.rows);
+    let mut trow = vec![0.0; t.cols];
+    let mut xrow = vec![0.0; b.cols];
+    let mut brow = vec![0.0; b.cols];
     for i in (0..b.rows).rev() {
-        let tii = mem.ld(t.idx(i, i));
-        for j in 0..b.cols {
-            let mut acc = mem.ld(b.idx(i, j));
-            for k in i + 1..t.rows {
-                acc -= mem.ld(t.idx(i, k)) * mem.ld(b.idx(k, j));
+        let tail = &mut trow[..t.rows - i];
+        mem.ld_run(t.idx(i, i), tail); // T(i, i..) incl. the diagonal
+        let tii = tail[0];
+        mem.ld_run(b.idx(i, 0), &mut xrow);
+        for k in i + 1..t.rows {
+            let tik = trow[k - i];
+            mem.ld_run(b.idx(k, 0), &mut brow);
+            for (x, bk) in xrow.iter_mut().zip(&brow) {
+                *x -= tik * bk;
             }
-            mem.st(b.idx(i, j), acc / tii);
         }
+        for x in xrow.iter_mut() {
+            *x /= tii;
+        }
+        mem.st_run(b.idx(i, 0), &xrow);
     }
 }
 

@@ -22,30 +22,46 @@ pub mod workloads;
 
 /// Slow-memory traffic of a sorting run, in elements, under the explicit
 /// model (the fast memory holds `m` elements; streams are counted once).
+/// Backed by the batched [`wa_core::Traffic`] API: each `read`/`write`
+/// charge is one stream (one message), so `traffic.load_msgs` counts the
+/// scan passes' block transfers rather than echoing the word counts.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SortIo {
-    pub reads: u64,
-    pub writes: u64,
+    /// Loads = element reads from slow memory; stores = element writes.
+    pub traffic: wa_core::Traffic,
     /// Sequential passes over the data (for the formula checks).
     pub passes: u64,
 }
 
 impl SortIo {
+    /// Charge one read stream of `n` elements.
     pub fn read(&mut self, n: usize) {
-        self.reads += n as u64;
+        self.traffic.load_run(n as u64);
     }
 
+    /// Charge one write stream of `n` elements.
     pub fn write(&mut self, n: usize) {
-        self.writes += n as u64;
+        self.traffic.store_run(n as u64);
+    }
+
+    /// Charge a batch of access runs (the bulk API).
+    pub fn run(&mut self, runs: &[wa_core::AccessRun]) {
+        self.traffic.run(runs);
+    }
+
+    /// Elements read from slow memory.
+    pub fn reads(&self) -> u64 {
+        self.traffic.load_words
+    }
+
+    /// Elements written to slow memory.
+    pub fn writes(&self) -> u64 {
+        self.traffic.store_words
     }
 
     /// Fraction of total traffic that is writes.
     pub fn write_fraction(&self) -> f64 {
-        if self.reads + self.writes == 0 {
-            0.0
-        } else {
-            self.writes as f64 / (self.reads + self.writes) as f64
-        }
+        self.traffic.write_fraction()
     }
 }
 
@@ -83,21 +99,21 @@ mod tests {
         // Merge sort: writes ≈ reads ≈ n · passes.
         assert!(io1.write_fraction() > 0.45 && io1.write_fraction() < 0.55);
         assert!(
-            io1.writes >= (n as u64) * 2,
+            io1.writes() >= (n as u64) * 2,
             "at least two passes at n/M = 64"
         );
 
         // Low-write sort: writes == n exactly; reads Θ(n²/m).
-        assert_eq!(io2.writes, n as u64);
+        assert_eq!(io2.writes(), n as u64);
         assert!(
-            io2.reads as f64 > 0.5 * (n * n / m) as f64,
+            io2.reads() as f64 > 0.5 * (n * n / m) as f64,
             "reads {} should scale as n²/M = {}",
-            io2.reads,
+            io2.reads(),
             n * n / m
         );
         // And the trade is real: fewer writes, far more reads.
-        assert!(io2.writes * 2 < io1.writes);
-        assert!(io2.reads > 4 * io1.reads);
+        assert!(io2.writes() * 2 < io1.writes());
+        assert!(io2.reads() > 4 * io1.reads());
     }
 
     #[test]
@@ -112,6 +128,6 @@ mod tests {
         let runs = n / m;
         let merge_passes = (runs as f64).log(fanout as f64).ceil() as u64;
         assert_eq!(io.passes, 1 + merge_passes);
-        assert_eq!(io.writes, (1 + merge_passes) * n as u64);
+        assert_eq!(io.writes(), (1 + merge_passes) * n as u64);
     }
 }

@@ -78,7 +78,7 @@ mod tests {
             low_write_sort(&mut d, m, &mut io);
             assert_eq!(d, want, "n={n} m={m}");
             let expected_writes = if n <= 1 { 0 } else { n as u64 };
-            assert_eq!(io.writes, expected_writes, "each element written once");
+            assert_eq!(io.writes(), expected_writes, "each element written once");
         }
     }
 
@@ -90,7 +90,7 @@ mod tests {
         low_write_sort(&mut d, 8, &mut io);
         assert_eq!(&d[..64], &[0.0; 64][..]);
         assert_eq!(&d[64..], &[1.0; 64][..]);
-        assert_eq!(io.writes, 128);
+        assert_eq!(io.writes(), 128);
     }
 
     #[test]
@@ -103,9 +103,9 @@ mod tests {
         low_write_sort(&mut d, m, &mut io);
         let expect = (n * n / m) as u64; // n/m passes × n reads
         assert!(
-            io.reads >= expect && io.reads <= expect + n as u64,
+            io.reads() >= expect && io.reads() <= expect + n as u64,
             "reads {} vs expected ~{expect}",
-            io.reads
+            io.reads()
         );
     }
 }

@@ -11,7 +11,7 @@ use crate::selection::low_write_sort;
 use crate::SortIo;
 use wa_core::engine::{BackendKind, EngineError, FnWorkload, Scale, Workload};
 use wa_core::report::{timed, RunReport};
-use wa_core::{BoundaryTraffic, Traffic, XorShift};
+use wa_core::{BoundaryTraffic, XorShift};
 
 fn problem(scale: Scale) -> (usize, usize) {
     match scale {
@@ -63,19 +63,14 @@ fn sort_workload(
                 }
                 BackendKind::Explicit => {
                     let mut bt = BoundaryTraffic::new(2);
-                    *bt.boundary_mut(0) = Traffic {
-                        load_words: io.reads,
-                        load_msgs: io.reads,
-                        store_words: io.writes,
-                        store_msgs: io.writes,
-                    };
+                    *bt.boundary_mut(0) = io.traffic;
                     let mut r = RunReport::new(name, backend, scale)
                         .with_boundaries(&bt, &[])
                         .config("n", n)
                         .config("fast_elems", m)
                         .config("passes", io.passes)
                         .config("write_fraction", format!("{:.4}", io.write_fraction()))
-                        .note("SortIo projection: element-granular counts, msgs == words");
+                        .note("SortIo projection: element counts, msgs == streams");
                     r.wall_ns = ns;
                     Ok(r)
                 }

@@ -121,13 +121,16 @@ pub fn ca_cg(a: &Csr, b: &[f64], x0: &[f64], opts: &CaCgOptions, io: &mut IoTall
     // r = b − A·x0; p = r.
     let mut r = vec![0.0; n];
     a.spmv(&x, &mut r);
-    io.read(a.nnz() + n);
+    // One message per stream: the matrix, then each n-vector.
+    io.read(a.nnz());
+    io.read(n);
     io.write(n);
     io.flop(2 * a.nnz());
     for i in 0..n {
         r[i] = b[i] - r[i];
     }
-    io.read(2 * n);
+    io.read(n);
+    io.read(n);
     io.write(n);
     let mut p = r.clone();
     io.read(n);
@@ -431,9 +434,9 @@ mod tests {
 
         // Writes: CG ≈ 4n/step; storing CA-CG ≈ (2s+4)n/s per step;
         // streaming ≈ 3n/s per step.
-        let w_cg = io_cg.writes as f64;
-        let w_store = io_store.writes as f64;
-        let w_stream = io_stream.writes as f64;
+        let w_cg = io_cg.writes() as f64;
+        let w_store = io_store.writes() as f64;
+        let w_stream = io_stream.writes() as f64;
         assert!(
             w_stream < w_cg / (s as f64 / 2.0),
             "streaming {w_stream} should be ≪ CG {w_cg} (s = {s})"
@@ -444,10 +447,10 @@ mod tests {
         );
         // Reads/flops at most ~2× the storing variant, as the paper says.
         assert!(
-            io_stream.reads < 2 * io_store.reads + 1000,
+            io_stream.reads() < 2 * io_store.reads() + 1000,
             "reads {} vs {}",
-            io_stream.reads,
-            io_store.reads
+            io_stream.reads(),
+            io_store.reads()
         );
         assert!(io_stream.flops < 2 * io_store.flops + 1000);
     }

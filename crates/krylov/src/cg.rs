@@ -1,7 +1,13 @@
 //! Conjugate gradients (paper Algorithm 6) with slow-memory accounting.
+//!
+//! Traffic is charged through the batched [`AccessRun`] API: each
+//! n-vector the iteration streams is one run over that vector's nominal
+//! slow-memory span, so the tally's message counts equal the number of
+//! vector transfers (the block-transfer notion of the model).
 
 use crate::counter::IoTally;
 use crate::csr::Csr;
+use wa_core::AccessRun;
 
 /// Result of a CG / CA-CG solve.
 #[derive(Clone, Debug)]
@@ -17,7 +23,9 @@ pub struct SolveResult {
 }
 
 fn dot(a: &[f64], b: &[f64], io: &mut IoTally) -> f64 {
-    io.read(2 * a.len());
+    // Two vector streams = two read runs (one message each).
+    io.read(a.len());
+    io.read(b.len());
     io.flop(2 * a.len());
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
@@ -37,7 +45,7 @@ fn norm2(a: &[f64]) -> f64 {
 /// let mut io = IoTally::default();
 /// let r = cg(&a, &b, &vec![0.0; a.rows], 1e-10, 500, &mut io);
 /// assert!(r.residual < 1e-8);
-/// assert!(io.writes > 0);
+/// assert!(io.writes() > 0);
 /// ```
 pub fn cg(
     a: &Csr,
@@ -52,19 +60,27 @@ pub fn cg(
     let mut x = x0.to_vec();
     let mut r = vec![0.0; n];
     let mut w = vec![0.0; n];
+    // Nominal slow-memory spans of the solver's streams (the addresses
+    // only label the runs; the tally charges words and messages).
+    let (vx, vr, vp, vw, vb, va) = (0, n, 2 * n, 3 * n, 4 * n, 5 * n);
     // r = b − A x0
     a.spmv(&x, &mut r);
-    io.read(a.nnz() + n);
-    io.write(n);
+    io.run(&[
+        AccessRun::read(va, a.nnz()),
+        AccessRun::read(vx, n),
+        AccessRun::write(vr, n),
+    ]);
     io.flop(2 * a.nnz());
     for i in 0..n {
         r[i] = b[i] - r[i];
     }
-    io.read(2 * n);
-    io.write(n);
+    io.run(&[
+        AccessRun::read(vb, n),
+        AccessRun::read(vr, n),
+        AccessRun::write(vr, n),
+    ]);
     let mut p = r.clone();
-    io.read(n);
-    io.write(n);
+    io.run(&[AccessRun::read(vr, n), AccessRun::write(vp, n)]);
     let bnorm = norm2(b).max(1e-300);
     let mut delta = dot(&r, &r, io);
     let mut history = vec![delta.sqrt() / bnorm];
@@ -72,24 +88,36 @@ pub fn cg(
     let mut iters = 0;
     while iters < max_iters && delta.sqrt() / bnorm > tol {
         a.spmv(&p, &mut w); // w = A p
-        io.read(a.nnz() + n);
-        io.write(n);
+        io.run(&[
+            AccessRun::read(va, a.nnz()),
+            AccessRun::read(vp, n),
+            AccessRun::write(vw, n),
+        ]);
         io.flop(2 * a.nnz());
         let alpha = delta / dot(&p, &w, io);
         for i in 0..n {
             x[i] += alpha * p[i];
             r[i] -= alpha * w[i];
         }
-        io.read(4 * n);
-        io.write(2 * n);
+        io.run(&[
+            AccessRun::read(vx, n),
+            AccessRun::read(vp, n),
+            AccessRun::read(vr, n),
+            AccessRun::read(vw, n),
+            AccessRun::write(vx, n),
+            AccessRun::write(vr, n),
+        ]);
         io.flop(4 * n);
         let delta_new = dot(&r, &r, io);
         let beta = delta_new / delta;
         for i in 0..n {
             p[i] = r[i] + beta * p[i];
         }
-        io.read(2 * n);
-        io.write(n);
+        io.run(&[
+            AccessRun::read(vr, n),
+            AccessRun::read(vp, n),
+            AccessRun::write(vp, n),
+        ]);
         io.flop(2 * n);
         delta = delta_new;
         iters += 1;
@@ -148,7 +176,7 @@ mod tests {
         let mut io = IoTally::default();
         let r = cg(&a, &b, &vec![0.0; n], 1e-30, 50, &mut io);
         assert_eq!(r.iters, 50, "should hit the cap");
-        let per_iter = (io.writes as f64) / 50.0;
+        let per_iter = (io.writes() as f64) / 50.0;
         assert!(
             (per_iter - 4.0 * n as f64).abs() < 0.2 * n as f64,
             "writes/iter {per_iter} vs 4n = {}",

@@ -2,27 +2,49 @@
 //!
 //! Explicit-model convention of §8: the matrix and all n-vectors reside in
 //! slow memory (n ≫ M₁); scalars and every O(s)×O(s) object live in fast
-//! memory for free. Kernels charge reads and writes of vector/matrix words
-//! as they stream them.
+//! memory for free. Kernels charge reads and writes of vector/matrix
+//! streams as they move them — each charge is one *run* (one block
+//! transfer), recorded through the batched [`Traffic`] API, so the tally
+//! carries message counts (`load_msgs`/`store_msgs`) alongside the word
+//! counts instead of the former word-granular `msgs == words` fiction.
 
-/// Word counts of slow-memory traffic (the `W12` of the paper's §8).
+use wa_core::{AccessRun, Traffic};
+
+/// Slow-memory traffic of a Krylov solve (the `W12` of the paper's §8),
+/// kept as a one-boundary [`Traffic`]: `load_*` = reads from slow memory,
+/// `store_*` = writes to slow memory.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IoTally {
-    /// Words read from slow memory.
-    pub reads: u64,
-    /// Words written to slow memory.
-    pub writes: u64,
+    /// Word and message counts across the fast↔slow boundary.
+    pub traffic: Traffic,
     /// Floating-point operations.
     pub flops: u64,
 }
 
 impl IoTally {
+    /// Charge one read run of `words` words from slow memory.
     pub fn read(&mut self, words: usize) {
-        self.reads += words as u64;
+        self.traffic.load_run(words as u64);
     }
 
+    /// Charge one write run of `words` words to slow memory.
     pub fn write(&mut self, words: usize) {
-        self.writes += words as u64;
+        self.traffic.store_run(words as u64);
+    }
+
+    /// Charge a batch of access runs (the bulk API).
+    pub fn run(&mut self, runs: &[AccessRun]) {
+        self.traffic.run(runs);
+    }
+
+    /// Words read from slow memory.
+    pub fn reads(&self) -> u64 {
+        self.traffic.load_words
+    }
+
+    /// Words written to slow memory.
+    pub fn writes(&self) -> u64 {
+        self.traffic.store_words
     }
 
     pub fn flop(&mut self, n: usize) {
@@ -32,14 +54,13 @@ impl IoTally {
     /// Writes per "CG-step equivalent" given `steps` conventional
     /// iterations' worth of progress.
     pub fn writes_per_step(&self, steps: usize) -> f64 {
-        self.writes as f64 / steps.max(1) as f64
+        self.writes() as f64 / steps.max(1) as f64
     }
 }
 
 impl std::ops::AddAssign for IoTally {
     fn add_assign(&mut self, o: IoTally) {
-        self.reads += o.reads;
-        self.writes += o.writes;
+        self.traffic += o.traffic;
         self.flops += o.flops;
     }
 }
@@ -57,9 +78,25 @@ mod tests {
         let mut u = IoTally::default();
         u.read(1);
         u += t;
-        assert_eq!(u.reads, 11);
-        assert_eq!(u.writes, 4);
+        assert_eq!(u.reads(), 11);
+        assert_eq!(u.writes(), 4);
         assert_eq!(u.flops, 100);
         assert_eq!(t.writes_per_step(2), 2.0);
+    }
+
+    #[test]
+    fn each_charge_is_one_message() {
+        let mut t = IoTally::default();
+        t.read(1000);
+        t.read(1000);
+        t.write(500);
+        t.read(0); // empty: not a transfer
+        assert_eq!(t.traffic.load_msgs, 2);
+        assert_eq!(t.traffic.store_msgs, 1);
+        t.run(&[AccessRun::read(0, 8), AccessRun::write(8, 8)]);
+        assert_eq!(t.traffic.load_msgs, 3);
+        assert_eq!(t.traffic.store_msgs, 2);
+        assert_eq!(t.reads(), 2008);
+        assert_eq!(t.writes(), 508);
     }
 }

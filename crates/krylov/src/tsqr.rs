@@ -199,16 +199,16 @@ mod tests {
         let streaming = run(false);
         let storing = run(true);
         assert_eq!(
-            streaming.writes,
+            streaming.writes(),
             (s * s) as u64,
             "only R leaves fast memory"
         );
         assert_eq!(
-            storing.writes,
+            storing.writes(),
             (nb * rpb * s + s * s) as u64,
             "storing pays Θ(n·s)"
         );
-        assert_eq!(streaming.reads, storing.reads);
+        assert_eq!(streaming.reads(), storing.reads());
     }
 
     #[test]

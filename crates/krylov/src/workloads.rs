@@ -2,9 +2,10 @@
 //!
 //! CG and CA-CG count their slow-memory traffic through [`IoTally`] — an
 //! explicit (hand-counted) model at vector granularity, so they register
-//! the `explicit` backend: the tally's reads become `load_words` and its
-//! writes `store_words` on a single L1/L2-style boundary (the paper's
-//! `W12`). `raw` runs the same solve and reports wall time only.
+//! the `explicit` backend: the tally is a [`wa_core::Traffic`] on a single
+//! L1/L2-style boundary (the paper's `W12`), with one message per
+//! vector/matrix stream. `raw` runs the same solve and reports wall time
+//! only.
 
 use crate::cacg::{ca_cg, CaCgOptions};
 use crate::cg::cg;
@@ -12,7 +13,7 @@ use crate::counter::IoTally;
 use crate::stencil::laplacian_2d;
 use wa_core::engine::{BackendKind, EngineError, FnWorkload, Scale, Workload};
 use wa_core::report::{timed, RunReport};
-use wa_core::{BoundaryTraffic, Traffic};
+use wa_core::BoundaryTraffic;
 
 fn grid(scale: Scale) -> usize {
     match scale {
@@ -21,21 +22,18 @@ fn grid(scale: Scale) -> usize {
     }
 }
 
-/// Project an [`IoTally`] onto a one-boundary report: the tally counts
-/// words moved between the processor's working set and slow memory.
+/// Project an [`IoTally`] onto a one-boundary report. The tally *is* a
+/// [`wa_core::Traffic`] (words moved between the processor's working set and slow
+/// memory, one message per vector/matrix stream), so the projection is a
+/// straight copy.
 fn tally_report(name: &str, scale: Scale, io: &IoTally, iters: usize, residual: f64) -> RunReport {
     let mut bt = BoundaryTraffic::new(2);
-    *bt.boundary_mut(0) = Traffic {
-        load_words: io.reads,
-        load_msgs: io.reads, // word-granular tally: 1 word = 1 msg
-        store_words: io.writes,
-        store_msgs: io.writes,
-    };
+    *bt.boundary_mut(0) = io.traffic;
     let mut r = RunReport::new(name, BackendKind::Explicit, scale)
         .with_boundaries(&bt, &[])
         .config("iters", iters)
         .config("residual", format!("{residual:.3e}"))
-        .note("IoTally projection: word-granular counts, msgs == words");
+        .note("IoTally projection: vector-granular runs, msgs == block transfers");
     r.flops = io.flops;
     r
 }

@@ -64,9 +64,10 @@ impl LevelCounters {
     }
 }
 
-/// The result of touching a level.
+/// The result of touching a level. A hit carries the slot index so the
+/// hierarchy can memoize it for the line-granular fast path.
 pub(crate) enum Touch {
-    Hit,
+    Hit(usize),
     Miss,
 }
 
@@ -333,12 +334,30 @@ impl Level {
                 if make_dirty {
                     self.dirty[slot] = true;
                 }
-                Touch::Hit
+                Touch::Hit(slot)
             }
             None => {
                 self.counters.misses += 1;
                 Touch::Miss
             }
+        }
+    }
+
+    /// Count `count` repeat hits on `slot` in O(1). Valid only when the
+    /// slot's line was the *immediately preceding* access at this level:
+    /// with no intervening access the line is already MRU (fully
+    /// associative LRU needs no list surgery) and the per-way policy
+    /// effect of the skipped touches collapses to one
+    /// [`Policy::on_repeat_hits`] call — so the replacement state a
+    /// per-word re-touch loop would produce is behaviorally identical.
+    #[inline]
+    pub fn fast_hits(&mut self, slot: usize, count: u64, make_dirty: bool) {
+        self.counters.hits += count;
+        if make_dirty {
+            self.dirty[slot] = true;
+        }
+        if self.fa.is_none() {
+            self.cfg.policy.on_repeat_hits(&mut self.meta[slot], count);
         }
     }
 
@@ -377,10 +396,12 @@ impl Level {
     }
 
     /// Insert `line` (counting a fill), evicting a victim if the set is
-    /// full. The caller (the hierarchy) classifies the victim as M or E —
-    /// a line clean here may still be dirty in a faster level — and must
-    /// call [`Level::count_victim`] with the effective dirtiness.
-    pub fn insert(&mut self, line: u64, now: u64, dirty: bool) -> Option<Victim> {
+    /// full. Returns the slot the line landed in (memoized by the
+    /// hierarchy's fast path) plus the victim, if any. The caller (the
+    /// hierarchy) classifies the victim as M or E — a line clean here may
+    /// still be dirty in a faster level — and must call
+    /// [`Level::count_victim`] with the effective dirtiness.
+    pub fn insert(&mut self, line: u64, now: u64, dirty: bool) -> (usize, Option<Victim>) {
         debug_assert!(self.find(line).is_none(), "inserting a present line");
         self.counters.fills += 1;
 
@@ -403,7 +424,7 @@ impl Level {
             self.dirty[slot] = dirty;
             fa.index.insert(line, slot);
             fa.push_mru(slot);
-            return victim;
+            return (slot, victim);
         }
 
         let set = self.set_of(line);
@@ -430,7 +451,7 @@ impl Level {
         self.tags[slot] = line;
         self.dirty[slot] = dirty;
         self.meta[slot] = self.cfg.policy.on_insert(now);
-        victim
+        (slot, victim)
     }
 
     /// Record a victim eviction in this level's counters with its
@@ -483,8 +504,8 @@ mod tests {
     #[test]
     fn hit_after_insert() {
         let mut l = tiny(0, Policy::Lru);
-        assert!(l.insert(5, 1, false).is_none());
-        assert!(matches!(l.touch(5, 2, false), Touch::Hit));
+        assert!(l.insert(5, 1, false).1.is_none());
+        assert!(matches!(l.touch(5, 2, false), Touch::Hit(_)));
         assert!(matches!(l.touch(6, 3, false), Touch::Miss));
     }
 
@@ -496,7 +517,7 @@ mod tests {
         }
         // Touch 10 so 11 becomes LRU.
         l.touch(10, 100, false);
-        let v = l.insert(14, 101, false).expect("must evict");
+        let v = l.insert(14, 101, false).1.expect("must evict");
         assert_eq!(v.line, 11);
         assert!(!v.dirty);
         l.count_victim(v.dirty);
@@ -510,13 +531,13 @@ mod tests {
             l.insert(line, line, false);
         }
         l.touch(0, 10, true); // dirty line 0, also makes it MRU
-        let v = l.insert(99, 11, false).unwrap();
+        let v = l.insert(99, 11, false).1.expect("must evict");
         assert_eq!(v.line, 1);
         assert!(!v.dirty);
         // Evict until line 0 goes: it must be the last and dirty.
-        l.insert(98, 12, false).unwrap();
-        l.insert(97, 13, false).unwrap();
-        let v0 = l.insert(96, 14, false).unwrap();
+        l.insert(98, 12, false).1.unwrap();
+        l.insert(97, 13, false).1.unwrap();
+        let v0 = l.insert(96, 14, false).1.unwrap();
         assert_eq!(v0.line, 0);
         assert!(v0.dirty);
     }
@@ -526,11 +547,11 @@ mod tests {
         // 4 lines, 1-way (direct mapped) => 4 sets; lines 0 and 4 collide.
         let mut l = tiny(1, Policy::Lru);
         l.insert(0, 1, false);
-        let v = l.insert(4, 2, false).expect("direct-mapped conflict");
+        let v = l.insert(4, 2, false).1.expect("direct-mapped conflict");
         assert_eq!(v.line, 0);
         // Lines 1 and 2 go to other sets without eviction.
-        assert!(l.insert(1, 3, false).is_none());
-        assert!(l.insert(2, 4, false).is_none());
+        assert!(l.insert(1, 3, false).1.is_none());
+        assert!(l.insert(2, 4, false).1.is_none());
     }
 
     #[test]
@@ -563,7 +584,7 @@ mod tests {
         // Fill to capacity and evict; line 3 should eventually leave dirty.
         l.insert(5, 3, false);
         l.insert(6, 4, false);
-        let v = l.insert(8, 5, false).unwrap();
+        let v = l.insert(8, 5, false).1.expect("must evict");
         assert_eq!(v.line, 3);
         assert!(v.dirty);
     }

@@ -14,6 +14,7 @@
 //! (`LLC_VICTIMS.E`), and `fills` the DRAM→LLC reads (`LLC_S_FILLS.E`).
 
 use crate::cache::{CacheConfig, Level, LevelCounters, Touch, Victim};
+pub use wa_core::AccessRun;
 
 /// Multi-level cache simulator. See the module docs for semantics.
 ///
@@ -32,6 +33,17 @@ pub struct MemSim {
     levels: Vec<Level>,
     line_words: usize,
     clock: u64,
+    /// Last-line memo: `(line, l1_slot)` of the most recent access. After
+    /// any access the line is resident in L1 at `l1_slot` and is that
+    /// level's MRU entry, so a consecutive access to the same line can
+    /// short-circuit to an L1 hit-count bump — no index lookup, no
+    /// recency-list surgery. Invalidated by [`MemSim::flush`] (the only
+    /// non-access mutation).
+    memo: Option<(u64, usize)>,
+    /// When false, every word takes the full multi-level walk (the
+    /// pre-memo reference behavior). Exists so the property tests can
+    /// compare the fast path against the reference on the same trace.
+    fast_path: bool,
     /// Lines read from DRAM (= fills of the last level).
     pub dram_reads_lines: u64,
     /// Lines written back to DRAM (dirty LLC victims; includes flush if
@@ -59,6 +71,8 @@ impl MemSim {
             levels: cfgs.iter().map(|c| Level::new(*c)).collect(),
             line_words,
             clock: 0,
+            memo: None,
+            fast_path: true,
             dram_reads_lines: 0,
             dram_writes_lines: 0,
         }
@@ -114,30 +128,94 @@ impl MemSim {
     }
 
     /// Record a sequential scan of `[addr, addr + words)`.
+    ///
+    /// Line-granular: the span is decomposed into its line intervals and
+    /// each line takes one full hierarchy walk; the remaining words of the
+    /// interval are L1 repeat-hits and are counted in O(1) per line.
+    /// Counters are byte-identical to the per-word loop
+    /// `for a in addr..addr+words { self.read(a) }` (property-tested in
+    /// `tests/range_equiv.rs`).
     pub fn read_range(&mut self, addr: usize, words: usize) {
-        for a in addr..addr + words {
-            self.read(a);
+        self.range_access(addr, words, false);
+    }
+
+    /// Record sequential writes over `[addr, addr + words)`. Line-granular
+    /// like [`MemSim::read_range`]; only lines actually overlapped by the
+    /// span are touched (and dirtied) — partial first/last lines do not
+    /// spill onto their neighbors.
+    pub fn write_range(&mut self, addr: usize, words: usize) {
+        self.range_access(addr, words, true);
+    }
+
+    /// Replay a batch of access runs (the bulk API kernels drive).
+    pub fn run(&mut self, runs: &[AccessRun]) {
+        for r in runs {
+            self.range_access(r.addr, r.words, r.is_write);
         }
     }
 
-    /// Record sequential writes over `[addr, addr + words)`.
-    pub fn write_range(&mut self, addr: usize, words: usize) {
-        for a in addr..addr + words {
-            self.write(a);
+    fn range_access(&mut self, addr: usize, words: usize, is_write: bool) {
+        if !self.fast_path {
+            for a in addr..addr + words {
+                self.access(a as u64, is_write);
+            }
+            return;
         }
+        let lw = self.line_words;
+        let end = addr + words;
+        let mut a = addr;
+        while a < end {
+            let line_end = (a / lw + 1) * lw;
+            let in_line = line_end.min(end) - a;
+            // First word of the line interval: full walk (or memo hit).
+            self.access(a as u64, is_write);
+            if in_line > 1 {
+                // The remaining words of the interval are consecutive
+                // same-line accesses: L1 repeat-hits, counted in bulk.
+                let (_, slot) = self.memo.expect("access() always sets the memo");
+                self.clock += (in_line - 1) as u64;
+                self.levels[0].fast_hits(slot, (in_line - 1) as u64, is_write);
+            }
+            a = line_end;
+        }
+    }
+
+    /// Disable the last-line memo and the line-granular range
+    /// decomposition, forcing the reference per-word walk. Used by the
+    /// equivalence property tests; simulation results must not depend on
+    /// this switch.
+    pub fn disable_fast_path(&mut self) {
+        self.fast_path = false;
+        self.memo = None;
     }
 
     fn access(&mut self, addr: u64, is_write: bool) {
         self.clock += 1;
         let line = addr / self.line_words as u64;
-        let n = self.levels.len();
 
+        // Fast path: the line of the immediately preceding access is
+        // resident and MRU in L1 — a repeat touch only bumps the hit
+        // counter (and dirtiness); replacement state cannot change.
+        if self.fast_path {
+            if let Some((memo_line, slot)) = self.memo {
+                if memo_line == line {
+                    self.levels[0].fast_hits(slot, 1, is_write);
+                    return;
+                }
+            }
+        }
+
+        let n = self.levels.len();
         // Walk down until a hit; dirtiness is tracked at L1 only.
         let mut hit = n; // n = missed everywhere (DRAM)
+        let mut l1_slot = usize::MAX;
         for i in 0..n {
             match self.levels[i].touch(line, self.clock, is_write && i == 0) {
-                Touch::Hit => {
+                Touch::Hit(slot) => {
                     hit = i;
+                    if i == 0 {
+                        l1_slot = slot;
+                    }
                     break;
                 }
                 Touch::Miss => {}
@@ -151,10 +229,16 @@ impl MemSim {
         // inclusion holds when victim handling back-invalidates.
         for i in (0..hit.min(n)).rev() {
             let dirty_here = is_write && i == 0;
-            if let Some(v) = self.levels[i].insert(line, self.clock, dirty_here) {
+            let (slot, victim) = self.levels[i].insert(line, self.clock, dirty_here);
+            if i == 0 {
+                l1_slot = slot;
+            }
+            if let Some(v) = victim {
                 self.handle_victim(i, v);
             }
         }
+        // The accessed line now sits in L1 at `l1_slot` as the MRU entry.
+        self.memo = Some((line, l1_slot));
     }
 
     /// A victim was displaced from level `i`: back-invalidate faster
@@ -187,6 +271,9 @@ impl MemSim {
     pub fn flush(&mut self) -> u64 {
         let n = self.levels.len();
         let mut flushed = 0;
+        // Residency is about to change wholesale; the last-line memo
+        // would dangle.
+        self.memo = None;
         // Top-down: push dirtiness toward the LLC.
         for i in 0..n {
             let drained = self.levels[i].drain();
@@ -333,6 +420,103 @@ mod tests {
         m.flush();
         assert_eq!(during + m.llc().flush_victims_m, 64);
         assert_eq!(m.dram_writes_lines, 64);
+    }
+
+    #[test]
+    fn write_range_straddling_a_clean_resident_line_dirties_only_touched_lines() {
+        // Regression: a span covering the tail of line 0, all of line 1,
+        // and the head of line 2 — with all three lines already resident
+        // *clean* — must dirty exactly those three lines and nothing else,
+        // and partial coverage must not skip the partially-touched lines.
+        let mut m = MemSim::two_level(cfg(64, 0));
+        m.read_range(0, 32); // lines 0..3 resident clean
+        assert_eq!(m.llc().fills, 4);
+        m.write_range(5, 14); // words 5..19: tail of L0, L1, head of L2
+        assert_eq!(m.llc().fills, 4, "no new fills: all lines were resident");
+        assert_eq!(m.llc().hits, 28 + 14);
+        m.flush();
+        assert_eq!(
+            m.llc().flush_victims_m,
+            3,
+            "exactly lines 0,1,2 dirty — not line 3, not rounded-out neighbors"
+        );
+        assert_eq!(m.dram_writes_lines, 3);
+    }
+
+    #[test]
+    fn range_counters_match_word_loop_exactly() {
+        // Spot check of the property the proptest suite covers broadly:
+        // read_range/write_range must be counter-identical to the word
+        // loop, including partial first/last lines and the DRAM tallies.
+        let spans = [(3usize, 18usize), (21, 1), (8, 16), (0, 7), (30, 11)];
+        let mut fast = MemSim::two_level(cfg(32, 0));
+        let mut slow = MemSim::two_level(cfg(32, 0));
+        slow.disable_fast_path();
+        for (i, &(addr, words)) in spans.iter().enumerate() {
+            let w = i % 2 == 0;
+            if w {
+                fast.write_range(addr, words);
+            } else {
+                fast.read_range(addr, words);
+            }
+            for a in addr..addr + words {
+                if w {
+                    slow.write(a);
+                } else {
+                    slow.read(a);
+                }
+            }
+        }
+        assert_eq!(fast.llc(), slow.llc());
+        assert_eq!(fast.dram_reads_lines, slow.dram_reads_lines);
+        assert_eq!(fast.dram_writes_lines, slow.dram_writes_lines);
+    }
+
+    #[test]
+    fn bulk_run_equals_sequential_ranges() {
+        let runs = [
+            AccessRun::read(0, 24),
+            AccessRun::write(8, 8),
+            AccessRun::read(40, 3),
+            AccessRun::write(0, 0),
+        ];
+        let mut a = MemSim::two_level(cfg(32, 0));
+        a.run(&runs);
+        let mut b = MemSim::two_level(cfg(32, 0));
+        for r in &runs {
+            if r.is_write {
+                b.write_range(r.addr, r.words);
+            } else {
+                b.read_range(r.addr, r.words);
+            }
+        }
+        assert_eq!(a.llc(), b.llc());
+    }
+
+    #[test]
+    fn memo_fast_path_survives_interleaved_lines_and_flush() {
+        // Alternate between two lines (memo invalidated every access),
+        // then hammer one line (memo active): counters must match the
+        // reference walk either way.
+        let mut fast = MemSim::new(&[cfg(16, 2), cfg(64, 0)]);
+        let mut refr = MemSim::new(&[cfg(16, 2), cfg(64, 0)]);
+        refr.disable_fast_path();
+        for m in [&mut fast, &mut refr] {
+            for _ in 0..4 {
+                m.read(0);
+                m.write(9);
+            }
+            for _ in 0..16 {
+                m.write(2);
+            }
+            m.flush();
+            m.read(2); // post-flush: must miss (memo cleared)
+        }
+        for i in 0..2 {
+            assert_eq!(fast.counters(i), refr.counters(i), "level {i}");
+        }
+        assert_eq!(fast.dram_reads_lines, refr.dram_reads_lines);
+        assert_eq!(fast.dram_writes_lines, refr.dram_writes_lines);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod xeon;
 
 pub use cache::{CacheConfig, LevelCounters};
 pub use explicit::ExplicitHier;
-pub use hierarchy::MemSim;
+pub use hierarchy::{AccessRun, MemSim};
 pub use mem::{Mem, RawMem, SimMem, TraceMem};
 pub use policy::Policy;
 pub use report::{explicit_report, memsim_report};

@@ -14,11 +14,33 @@
 use crate::hierarchy::MemSim;
 
 /// Word-addressed memory with read/write instrumentation hooks.
+///
+/// The bulk accessors `ld_run`/`st_run` describe one *run* of consecutive
+/// words. Their default implementations fall back to the per-word hooks
+/// (so every backend observes the identical word stream), but [`RawMem`]
+/// overrides them with `memcpy` and [`SimMem`] routes them through the
+/// simulator's line-granular [`MemSim::read_range`]/[`MemSim::write_range`]
+/// fast path — which is where the order-of-magnitude simulation speedup
+/// of the instrumented kernels comes from.
 pub trait Mem {
     /// Load the word at `addr`.
     fn ld(&mut self, addr: usize) -> f64;
     /// Store `v` at `addr`.
     fn st(&mut self, addr: usize, v: f64);
+
+    /// Load the run `[addr, addr + out.len())` into `out`.
+    fn ld_run(&mut self, addr: usize, out: &mut [f64]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.ld(addr + i);
+        }
+    }
+
+    /// Store `src` over the run `[addr, addr + src.len())`.
+    fn st_run(&mut self, addr: usize, src: &[f64]) {
+        for (i, &v) in src.iter().enumerate() {
+            self.st(addr + i, v);
+        }
+    }
 
     /// Number of words of backing storage.
     fn len(&self) -> usize;
@@ -40,6 +62,16 @@ impl<M: Mem + ?Sized> Mem for &mut M {
     #[inline]
     fn st(&mut self, addr: usize, v: f64) {
         (**self).st(addr, v)
+    }
+
+    #[inline]
+    fn ld_run(&mut self, addr: usize, out: &mut [f64]) {
+        (**self).ld_run(addr, out)
+    }
+
+    #[inline]
+    fn st_run(&mut self, addr: usize, src: &[f64]) {
+        (**self).st_run(addr, src)
     }
 
     fn len(&self) -> usize {
@@ -73,6 +105,16 @@ impl Mem for RawMem {
     #[inline]
     fn st(&mut self, addr: usize, v: f64) {
         self.data[addr] = v;
+    }
+
+    #[inline]
+    fn ld_run(&mut self, addr: usize, out: &mut [f64]) {
+        out.copy_from_slice(&self.data[addr..addr + out.len()]);
+    }
+
+    #[inline]
+    fn st_run(&mut self, addr: usize, src: &[f64]) {
+        self.data[addr..addr + src.len()].copy_from_slice(src);
     }
 
     fn len(&self) -> usize {
@@ -110,6 +152,18 @@ impl Mem for SimMem {
     fn st(&mut self, addr: usize, v: f64) {
         self.sim.write(addr);
         self.data[addr] = v;
+    }
+
+    #[inline]
+    fn ld_run(&mut self, addr: usize, out: &mut [f64]) {
+        self.sim.read_range(addr, out.len());
+        out.copy_from_slice(&self.data[addr..addr + out.len()]);
+    }
+
+    #[inline]
+    fn st_run(&mut self, addr: usize, src: &[f64]) {
+        self.sim.write_range(addr, src.len());
+        self.data[addr..addr + src.len()].copy_from_slice(src);
     }
 
     fn len(&self) -> usize {

@@ -49,6 +49,21 @@ impl Policy {
         }
     }
 
+    /// Replay `count` *consecutive repeat hits* on the same line in O(1):
+    /// the line was the immediately preceding access, so no other way's
+    /// metadata moved in between. For LRU the relative recency order is
+    /// already final (the timestamps of the skipped touches are unused by
+    /// any other line), for FIFO hits never touch metadata, and for the
+    /// 3-bit clock each hit increments the saturating marker — the one
+    /// policy where repeat hits are not idempotent.
+    #[inline]
+    pub fn on_repeat_hits(self, meta: &mut u64, count: u64) {
+        match self {
+            Policy::Lru | Policy::Fifo => {}
+            Policy::Clock3 => *meta = meta.saturating_add(count).min(7),
+        }
+    }
+
     /// Choose a victim among `ways` (all valid). `meta` is the per-way
     /// metadata slice, `hand` the per-set clock hand (updated in place).
     /// Returns the victim way index.

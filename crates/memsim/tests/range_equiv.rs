@@ -1,0 +1,119 @@
+//! Counter-exactness of the line-granular fast path.
+//!
+//! The bulk APIs ([`MemSim::read_range`], [`MemSim::write_range`],
+//! [`MemSim::run`]) and the last-line memo inside `access` are pure
+//! accelerations: for ANY access trace, every [`LevelCounters`] field of
+//! every level — and the DRAM line tallies — must be byte-identical to
+//! the per-word reference walk (`disable_fast_path`). These property
+//! tests drive random run traces through random 1-, 2-, and 3-level
+//! hierarchies under every replacement policy and compare the two paths
+//! field for field.
+
+use memsim::{AccessRun, CacheConfig, LevelCounters, MemSim, Policy};
+use proptest::prelude::*;
+
+/// All (ways, policy) combinations the simulator supports. Fully
+/// associative (`ways == 0`) requires true LRU; the set-associative
+/// configurations exercise LRU, the 3-bit clock, and FIFO.
+const CONFIGS: [(usize, Policy); 4] = [
+    (0, Policy::Lru),
+    (2, Policy::Lru),
+    (4, Policy::Clock3),
+    (2, Policy::Fifo),
+];
+
+fn build(levels: usize, ways: usize, policy: Policy, base_lines: usize) -> MemSim {
+    let cfgs: Vec<CacheConfig> = (0..levels)
+        .map(|i| CacheConfig {
+            // Strictly growing capacities: 4x per level keeps every level
+            // a whole number of (ways-divisible) sets.
+            capacity_words: (base_lines * 8) << (2 * i),
+            line_words: 8,
+            ways,
+            policy,
+        })
+        .collect();
+    MemSim::new(&cfgs)
+}
+
+/// Apply `runs` through the bulk API on one sim and the per-word
+/// reference walk on another; compare every counter of every level.
+fn assert_equivalent(
+    levels: usize,
+    ways: usize,
+    policy: Policy,
+    base_lines: usize,
+    runs: &[AccessRun],
+) {
+    let mut fast = build(levels, ways, policy, base_lines);
+    let mut refr = build(levels, ways, policy, base_lines);
+    refr.disable_fast_path();
+    fast.run(runs);
+    for r in runs {
+        for a in r.addr..r.addr + r.words {
+            if r.is_write {
+                refr.write(a);
+            } else {
+                refr.read(a);
+            }
+        }
+    }
+    for i in 0..levels {
+        let (f, r): (LevelCounters, LevelCounters) = (fast.counters(i), refr.counters(i));
+        assert_eq!(f, r, "level {i} counters diverge ({ways}-way {policy:?})");
+    }
+    assert_eq!(fast.dram_reads_lines, refr.dram_reads_lines);
+    assert_eq!(fast.dram_writes_lines, refr.dram_writes_lines);
+    // And after a flush both must have pushed the same dirty state out.
+    fast.flush();
+    refr.flush();
+    for i in 0..levels {
+        assert_eq!(
+            fast.counters(i),
+            refr.counters(i),
+            "level {i} counters diverge after flush"
+        );
+    }
+    assert_eq!(fast.dram_writes_lines, refr.dram_writes_lines);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random run traces over a small address space (heavy line reuse and
+    /// eviction pressure) across all policies and 1/2/3-level shapes.
+    #[test]
+    fn range_and_bulk_api_match_per_word_reference(
+        levels in 1usize..4,
+        cfg_idx in 0usize..4,
+        base_lines in 2usize..6,
+        spec in prop::collection::vec((0usize..160, 1usize..24, any::<bool>()), 1..40),
+    ) {
+        let (ways, policy) = CONFIGS[cfg_idx];
+        let runs: Vec<AccessRun> = spec
+            .iter()
+            .map(|&(addr, words, is_write)| AccessRun { addr, words, is_write })
+            .collect();
+        assert_equivalent(levels, ways, policy, base_lines * 4, &runs);
+    }
+
+    /// Dense same-line hammering maximizes memo usage; strided runs
+    /// maximize line crossings. Both extremes must stay exact.
+    #[test]
+    fn adversarial_memo_traces_match(
+        stride in 1usize..12,
+        reps in 1usize..30,
+        cfg_idx in 0usize..4,
+    ) {
+        let (ways, policy) = CONFIGS[cfg_idx];
+        let mut runs = Vec::new();
+        for r in 0..reps {
+            // Same word over and over, then a strided hop, then a span
+            // crossing several lines starting mid-line.
+            runs.push(AccessRun::write(r * stride, 1));
+            runs.push(AccessRun::read(r * stride, 1));
+            runs.push(AccessRun::read(r * stride + 3, 13));
+        }
+        assert_equivalent(2, ways, policy, 8, &runs);
+    }
+}

@@ -16,14 +16,10 @@ pub fn force_base(n: usize, i: usize) -> usize {
 }
 
 /// Write a particle cloud into memory (setup; not part of the measured
-/// kernel).
+/// kernel). Each body is one 4-word run.
 pub fn store_cloud<M: Mem>(mem: &mut M, p: &[Particle]) {
     for (i, q) in p.iter().enumerate() {
-        let b = particle_base(i);
-        mem.st(b, q.pos.x);
-        mem.st(b + 1, q.pos.y);
-        mem.st(b + 2, q.pos.z);
-        mem.st(b + 3, q.mass);
+        mem.st_run(particle_base(i), &[q.pos.x, q.pos.y, q.pos.z, q.mass]);
     }
 }
 
@@ -31,25 +27,27 @@ pub fn store_cloud<M: Mem>(mem: &mut M, p: &[Particle]) {
 pub fn load_forces<M: Mem>(mem: &mut M, n: usize) -> Vec<Vec3> {
     (0..n)
         .map(|i| {
-            let b = force_base(n, i);
+            let mut f = [0.0; 3];
+            mem.ld_run(force_base(n, i), &mut f);
             Vec3 {
-                x: mem.ld(b),
-                y: mem.ld(b + 1),
-                z: mem.ld(b + 2),
+                x: f[0],
+                y: f[1],
+                z: f[2],
             }
         })
         .collect()
 }
 
 fn ld_particle<M: Mem>(mem: &mut M, i: usize) -> Particle {
-    let b = particle_base(i);
+    let mut w = [0.0; 4];
+    mem.ld_run(particle_base(i), &mut w);
     Particle {
         pos: Vec3 {
-            x: mem.ld(b),
-            y: mem.ld(b + 1),
-            z: mem.ld(b + 2),
+            x: w[0],
+            y: w[1],
+            z: w[2],
         },
-        mass: mem.ld(b + 3),
+        mass: w[3],
     }
 }
 
@@ -64,20 +62,19 @@ pub fn simmed_nbody_wa<M: Mem>(mem: &mut M, n: usize, b: usize) {
         // Initialize force accumulators (R2 residency: first touch is a
         // write).
         for ii in i..i + bi {
-            let fb = force_base(n, ii);
-            mem.st(fb, 0.0);
-            mem.st(fb + 1, 0.0);
-            mem.st(fb + 2, 0.0);
+            mem.st_run(force_base(n, ii), &[0.0; 3]);
         }
         let mut j = 0;
         while j < n {
             let bj = b.min(n - j);
             for ii in i..i + bi {
                 let pi = ld_particle(mem, ii);
+                let mut f = [0.0; 3];
+                mem.ld_run(force_base(n, ii), &mut f);
                 let mut acc = Vec3 {
-                    x: mem.ld(force_base(n, ii)),
-                    y: mem.ld(force_base(n, ii) + 1),
-                    z: mem.ld(force_base(n, ii) + 2),
+                    x: f[0],
+                    y: f[1],
+                    z: f[2],
                 };
                 for jj in j..j + bj {
                     if ii != jj {
@@ -85,10 +82,7 @@ pub fn simmed_nbody_wa<M: Mem>(mem: &mut M, n: usize, b: usize) {
                         acc = acc.add(phi2(pi, pj));
                     }
                 }
-                let fb = force_base(n, ii);
-                mem.st(fb, acc.x);
-                mem.st(fb + 1, acc.y);
-                mem.st(fb + 2, acc.z);
+                mem.st_run(force_base(n, ii), &[acc.x, acc.y, acc.z]);
             }
             j += bj;
         }

@@ -41,4 +41,4 @@ pub use engine::{BackendKind, EngineError, FnWorkload, Registry, Scale, Workload
 pub use matrix::Mat;
 pub use report::RunReport;
 pub use rng::XorShift;
-pub use traffic::{BoundaryTraffic, Traffic};
+pub use traffic::{AccessRun, BoundaryTraffic, Traffic};

@@ -19,6 +19,17 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
     (v, t0.elapsed().as_nanos())
 }
 
+/// Median of a set of wall times (lower-middle for even counts, the
+/// harness's `--repeat` convention). Returns 0 for an empty slice.
+pub fn median_wall_ns(walls: &[u128]) -> u128 {
+    if walls.is_empty() {
+        return 0;
+    }
+    let mut s = walls.to_vec();
+    s.sort_unstable();
+    s[(s.len() - 1) / 2]
+}
+
 /// Uniform result of one workload execution on one backend.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -166,6 +177,32 @@ impl RunReport {
         s
     }
 
+    /// Header row for [`RunReport::to_csv_row`] (the `harness sweep
+    /// --csv` schema, consumed by the paper-figure pipelines).
+    pub const CSV_HEADER: &'static str = "workload,backend,scale,wall_ns,flops,load_words,\
+         load_msgs,store_words,store_msgs,writes_to_slow,write_fraction";
+
+    /// One CSV row: identity, wall time, and the slowest-boundary traffic
+    /// (the LLC↔DRAM numbers the paper plots). Workload names are
+    /// kebab-case identifiers, so no quoting is needed.
+    pub fn to_csv_row(&self) -> String {
+        let t = self.slow_traffic();
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{:.6}",
+            self.workload,
+            self.backend.as_str(),
+            self.scale.as_str(),
+            self.wall_ns,
+            self.flops,
+            t.load_words,
+            t.load_msgs,
+            t.store_words,
+            t.store_msgs,
+            t.writes_to_slow(),
+            t.write_fraction(),
+        )
+    }
+
     /// Human-readable one-screen rendering for non-`--json` output.
     pub fn render_text(&self) -> String {
         use std::fmt::Write;
@@ -280,6 +317,30 @@ mod tests {
         assert_eq!(r.writes_per_level, vec![107, 510, 0]);
         assert_eq!(r.writes_to_slow(), 0);
         assert_eq!(r.slow_traffic().load_words, 500);
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity_and_slow_boundary() {
+        let mut r = sample();
+        r.wall_ns = 1234;
+        r.flops = 9;
+        let header_cols = RunReport::CSV_HEADER.split(',').count();
+        let row = r.to_csv_row();
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols.len(), header_cols);
+        assert_eq!(cols[0], "matmul-wa");
+        assert_eq!(cols[3], "1234");
+        // Slowest boundary of sample(): load 500, store 0.
+        assert_eq!(cols[5], "500");
+        assert_eq!(cols[9], "0");
+    }
+
+    #[test]
+    fn median_wall_is_lower_middle() {
+        assert_eq!(median_wall_ns(&[]), 0);
+        assert_eq!(median_wall_ns(&[7]), 7);
+        assert_eq!(median_wall_ns(&[9, 1, 5]), 5);
+        assert_eq!(median_wall_ns(&[4, 1, 9, 5]), 4);
     }
 
     #[test]

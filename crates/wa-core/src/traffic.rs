@@ -10,6 +10,41 @@
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
+/// One run of consecutive word accesses: `words` words starting at `addr`,
+/// all reads or all writes. This is the currency of the bulk access APIs —
+/// kernels describe their traffic as runs instead of single words, and the
+/// consumers ([`Traffic::run`], `memsim::MemSim::run`) charge each run at
+/// block-transfer granularity instead of walking it word by word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessRun {
+    /// First word address of the run.
+    pub addr: usize,
+    /// Number of consecutive words touched.
+    pub words: usize,
+    /// All-write run (`true`) or all-read run (`false`).
+    pub is_write: bool,
+}
+
+impl AccessRun {
+    /// A read run over `[addr, addr + words)`.
+    pub fn read(addr: usize, words: usize) -> Self {
+        AccessRun {
+            addr,
+            words,
+            is_write: false,
+        }
+    }
+
+    /// A write run over `[addr, addr + words)`.
+    pub fn write(addr: usize, words: usize) -> Self {
+        AccessRun {
+            addr,
+            words,
+            is_write: true,
+        }
+    }
+}
+
 /// Word and message counts crossing one fast↔slow boundary.
 ///
 /// `load_*` is slow→fast movement, `store_*` is fast→slow movement.
@@ -45,6 +80,40 @@ impl Traffic {
     pub fn store(&mut self, words: u64) {
         self.store_words += words;
         self.store_msgs += 1;
+    }
+
+    /// Record one read run of `words` words: one slow→fast message, or
+    /// nothing for an empty run (a zero-length run moves no data, so it
+    /// is not a transfer). The tally types (`krylov::IoTally`,
+    /// `extsort::SortIo`) charge their streams through these two methods
+    /// so the skip-empty rule lives in one place.
+    #[inline]
+    pub fn load_run(&mut self, words: u64) {
+        if words > 0 {
+            self.load(words);
+        }
+    }
+
+    /// Record one write run of `words` words: one fast→slow message, or
+    /// nothing for an empty run.
+    #[inline]
+    pub fn store_run(&mut self, words: u64) {
+        if words > 0 {
+            self.store(words);
+        }
+    }
+
+    /// Record a batch of [`AccessRun`]s: each read run is one slow→fast
+    /// message of `words` words, each write run one fast→slow message.
+    /// Zero-length runs are skipped (they move nothing).
+    pub fn run(&mut self, runs: &[AccessRun]) {
+        for r in runs {
+            if r.is_write {
+                self.store_run(r.words as u64);
+            } else {
+                self.load_run(r.words as u64);
+            }
+        }
     }
 
     /// Total words moved in either direction (the classical "W" the
@@ -196,6 +265,21 @@ mod tests {
         assert_eq!(t.reads_from_slow(), 100);
         assert_eq!(t.total_words(), 140);
         assert_eq!(t.total_msgs(), 2);
+    }
+
+    #[test]
+    fn run_batch_charges_one_message_per_run() {
+        let mut t = Traffic::ZERO;
+        t.run(&[
+            AccessRun::read(0, 64),
+            AccessRun::read(1024, 8),
+            AccessRun::write(64, 16),
+            AccessRun::read(0, 0), // empty: no words, no message
+        ]);
+        assert_eq!(t.load_words, 72);
+        assert_eq!(t.load_msgs, 2);
+        assert_eq!(t.store_words, 16);
+        assert_eq!(t.store_msgs, 1);
     }
 
     #[test]

@@ -38,9 +38,9 @@ fn main() {
     let report = |name: &str, steps: usize, io: &IoTally, res: f64| {
         println!(
             "{name:<22} {steps:>6} {:>12} {:>12} {:>14.2} {res:>10.2e}",
-            io.writes,
-            io.reads,
-            io.writes as f64 / steps.max(1) as f64 / n as f64
+            io.writes(),
+            io.reads(),
+            io.writes() as f64 / steps.max(1) as f64 / n as f64
         );
     };
     report("CG", r.iters, &io, r.residual);
