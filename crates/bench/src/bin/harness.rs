@@ -1,17 +1,21 @@
 //! Registry-driven experiment harness.
 //!
 //! ```text
-//! harness list [--json]
-//!     Enumerate every registered workload (name, group, backends).
+//! harness list [--json|--markdown]
+//!     Enumerate every registered workload (name, group, backends);
+//!     --markdown emits the README workload×backend support table.
 //!
-//! harness run <workload> [--backend B] [--scale S] [--json]
+//! harness run <workload> [--backend B] [--scale S] [--depth D] [--json]
 //!     Execute one workload on one backend and print its RunReport.
 //!     B: raw | simmed | traced | explicit (default: the workload's first
-//!     declared backend). S: small | paper (default small).
+//!     declared backend). S: small | paper (default small). D: modeled
+//!     hierarchy depth for traffic-counting backends (default 1).
 //!
-//! harness sweep [--group G] [--backend B] [--scale S] [--threads N] [--json]
+//! harness sweep [--group G] [--backend B] [--scale S] [--depth D]
+//!               [--threads N] [--json|--csv]
 //!     Run every (workload, backend) scenario — optionally filtered by
-//!     group or backend — in parallel across N worker threads (default:
+//!     group or backend, restricted at depth D > 1 to the cells that
+//!     model that depth — in parallel across N worker threads (default:
 //!     available parallelism). `--json` emits a JSON array of RunReports.
 //!
 //! harness exp <command> [--scale small|paper] [--policy P]
@@ -27,7 +31,7 @@
 use wa_bench::registry::registry;
 use wa_bench::scale::Repl;
 use wa_bench::{bounds_exp, fig2, fig5, ksm, lu_par, props, sorting, tables, theorem4, waopt};
-use wa_core::engine::{BackendKind, EngineError, Workload};
+use wa_core::engine::{BackendKind, EngineError, RunCfg, Workload};
 use wa_core::par::{default_threads, par_map};
 use wa_core::report::{median_wall_ns, RunReport};
 use wa_core::{CostParams, Registry, Scale};
@@ -37,7 +41,11 @@ fn main() {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let rest = &args[1.min(args.len())..];
     match cmd {
-        "list" => list(&registry(), has_flag(rest, "--json")),
+        "list" => list(
+            &registry(),
+            has_flag(rest, "--json"),
+            has_flag(rest, "--markdown"),
+        ),
         "run" => run(&registry(), rest),
         "sweep" => sweep(&registry(), rest),
         "exp" => exp(rest),
@@ -51,7 +59,7 @@ fn main() {
 
 fn usage(code: i32) -> ! {
     eprintln!(
-        "usage:\n  harness list [--json]\n  harness run <workload> [--backend B] [--scale S] [--repeat N] [--json]\n  harness sweep [--group G] [--backend B] [--scale S] [--threads N] [--repeat N] [--json|--csv]\n  harness exp <command> [--scale small|paper] [--policy P]   (exp all = every paper artifact)\n\n  --repeat N  run each scenario N times; the report carries the median wall time\n  --csv       sweep only: one CSV row per scenario (schema: RunReport::CSV_HEADER)"
+        "usage:\n  harness list [--json|--markdown]\n  harness run <workload> [--backend B] [--scale S] [--depth D] [--repeat N] [--json]\n  harness sweep [--group G] [--backend B] [--scale S] [--depth D] [--threads N] [--repeat N] [--json|--csv]\n  harness exp <command> [--scale small|paper] [--policy P]   (exp all = every paper artifact)\n\n  --depth D   hierarchy depth (cache levels) for traffic-counting backends; default 1\n  --repeat N  run each scenario N times; the report carries the median wall time\n  --csv       sweep only: one CSV row per scenario (schema: RunReport::CSV_HEADER)\n  --markdown  list only: the README workload×backend support table"
     );
     std::process::exit(code);
 }
@@ -73,16 +81,11 @@ fn parse_repeat(args: &[String]) -> usize {
 /// Run one scenario `repeat` times; the returned report is the last run's
 /// with the *median* wall time over all runs (echoed in config when
 /// repeated), so sweep timings are stable against scheduler noise.
-fn run_repeated(
-    w: &dyn Workload,
-    backend: BackendKind,
-    scale: Scale,
-    repeat: usize,
-) -> Result<RunReport, EngineError> {
+fn run_repeated(w: &dyn Workload, cfg: RunCfg, repeat: usize) -> Result<RunReport, EngineError> {
     let mut walls = Vec::with_capacity(repeat);
     let mut last = None;
     for _ in 0..repeat {
-        let r = w.run(backend, scale)?;
+        let r = w.run_cfg(cfg)?;
         walls.push(r.wall_ns);
         last = Some(r);
     }
@@ -124,7 +127,43 @@ fn parse_backend(args: &[String]) -> Option<BackendKind> {
     })
 }
 
-fn list(reg: &Registry, json: bool) {
+/// Backend cell for the markdown support table: `✓` (depth 1) or `✓³`
+/// (models hierarchies up to that depth); empty when unsupported.
+fn md_cell(w: &dyn Workload, b: BackendKind) -> String {
+    if !w.supports(b) {
+        return String::new();
+    }
+    match w.max_depth(b) {
+        1 => "✓".to_string(),
+        d => format!("✓{}", superscript(d)),
+    }
+}
+
+fn superscript(d: usize) -> char {
+    match d {
+        2 => '²',
+        3 => '³',
+        _ => '⁺',
+    }
+}
+
+fn list(reg: &Registry, json: bool, markdown: bool) {
+    if markdown {
+        println!("| workload | group | raw | simmed | traced | explicit |");
+        println!("|----------|-------|:---:|:------:|:------:|:--------:|");
+        for w in reg.iter() {
+            println!(
+                "| `{}` | {} | {} | {} | {} | {} |",
+                w.name(),
+                w.group(),
+                md_cell(w, BackendKind::Raw),
+                md_cell(w, BackendKind::Simmed),
+                md_cell(w, BackendKind::Traced),
+                md_cell(w, BackendKind::Explicit),
+            );
+        }
+        return;
+    }
     if json {
         let mut s = String::from("[");
         for (i, w) in reg.iter().enumerate() {
@@ -176,7 +215,12 @@ fn run(reg: &Registry, args: &[String]) {
     };
     let backend = parse_backend(args).unwrap_or_else(|| w.backends()[0]);
     let scale = parse_scale(args);
-    match run_repeated(w, backend, scale, parse_repeat(args)) {
+    let depth = parse_depth(args);
+    match run_repeated(
+        w,
+        RunCfg::with_depth(backend, scale, depth),
+        parse_repeat(args),
+    ) {
         Ok(report) => {
             if has_flag(args, "--json") {
                 println!("{}", report.to_json());
@@ -188,6 +232,17 @@ fn run(reg: &Registry, args: &[String]) {
             eprintln!("{e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// Parse `--depth D` (default 1, the two-level model).
+fn parse_depth(args: &[String]) -> usize {
+    match flag_value(args, "--depth") {
+        None => 1,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --depth `{s}` (expected a positive integer)");
+            std::process::exit(2);
+        }),
     }
 }
 
@@ -204,11 +259,15 @@ fn sweep(reg: &Registry, args: &[String]) {
     let json = has_flag(args, "--json");
     let csv = has_flag(args, "--csv");
     let repeat = parse_repeat(args);
+    let depth = parse_depth(args);
     if json && csv {
         eprintln!("--json and --csv are mutually exclusive");
         std::process::exit(2);
     }
 
+    // At depth > 1 the sweep covers exactly the cells that model that
+    // depth (running the rest at a shallower depth would silently mix
+    // hierarchies in one table).
     let scenarios: Vec<Scenario> = reg
         .iter()
         .filter(|w| only_group.is_none_or(|g| w.group() == g))
@@ -216,6 +275,7 @@ fn sweep(reg: &Registry, args: &[String]) {
             w.backends()
                 .iter()
                 .filter(|b| only_backend.is_none_or(|ob| ob == **b))
+                .filter(|&&b| w.max_depth(b) >= depth)
                 .map(move |&backend| Scenario {
                     workload: w,
                     backend,
@@ -236,9 +296,10 @@ fn sweep(reg: &Registry, args: &[String]) {
         }),
     };
     eprintln!(
-        "sweeping {} scenarios at scale {} on {} threads",
+        "sweeping {} scenarios at scale {} depth {} on {} threads",
         scenarios.len(),
         scale,
+        depth,
         threads
     );
 
@@ -246,7 +307,11 @@ fn sweep(reg: &Registry, args: &[String]) {
         (
             s.workload.name(),
             s.backend,
-            run_repeated(s.workload, s.backend, scale, repeat),
+            run_repeated(
+                s.workload,
+                RunCfg::with_depth(s.backend, scale, depth),
+                repeat,
+            ),
         )
     });
 

@@ -1,0 +1,277 @@
+//! Registry-driven conformance suite for the workload×backend matrix.
+//!
+//! Three layers of guarantees, all enumerated from the registry so a cell
+//! cannot silently disappear or dodge its obligations:
+//!
+//! 1. **Snapshot** — the exact set of `(workload, backend, max_depth)`
+//!    cells is pinned in `tests/snapshots/registry_cells.txt`. Dropping a
+//!    backend (or a workload) is a test failure, not a silent regression;
+//!    adding one requires blessing the snapshot
+//!    (`UPDATE_SNAPSHOT=1 cargo test -p wa-bench --test backend_matrix`).
+//! 2. **Schema** — every cell runs at every depth it advertises and its
+//!    [`RunReport`] satisfies the structural invariants (identity echo,
+//!    boundary/writes-per-level arity, CSV row arity, JSON keys).
+//! 3. **Cross-model agreement** — every workload advertising *both* the
+//!    explicit model and the cache simulator must appear in [`AGREEMENT`]
+//!    with a declared tolerance, and its slow-memory write counts must
+//!    agree boundary-by-boundary (counted from the fast end) at every
+//!    shared depth and at both scales. WA cells agree exactly
+//!    (Propositions 6.1/6.2 with line-aligned blockings); the documented
+//!    exceptions are unit conversion (n-body counts particles), line
+//!    granularity on triangular outputs (Cholesky), and eager rewrites
+//!    coalescing in the simulated cache before reaching slow memory (the
+//!    right-looking non-WA orders — the explicit model charges them, LRU
+//!    absorbs some).
+
+use wa_bench::registry::registry;
+use wa_core::engine::{BackendKind, RunCfg};
+use wa_core::report::RunReport;
+use wa_core::Scale;
+
+/// How a cell's explicit and simulated slow-write counts must relate.
+#[derive(Clone, Copy, Debug)]
+enum Agreement {
+    /// Word-for-word equality at every shared boundary.
+    Exact,
+    /// Equality after converting explicit units (particles) to words.
+    ExactTimes(u64),
+    /// `|explicit − simmed| ≤ rel · explicit` at every shared boundary.
+    Within(f64),
+}
+
+/// Every workload that advertises both `explicit` and `simmed` MUST have
+/// an entry here — the suite fails if one is missing, so growing the
+/// matrix forces a conformance decision.
+const AGREEMENT: &[(&str, Agreement)] = &[
+    ("matmul-wa", Agreement::Exact),
+    ("matmul-nonwa", Agreement::Exact),
+    ("trsm-wa", Agreement::Exact),
+    // Right-looking TRSM eagerly rewrites B panels; under LRU most
+    // rewrites coalesce in cache, so the simulator sees ~the output size
+    // while the explicit model charges every panel store.
+    ("trsm-rl", Agreement::Within(0.45)),
+    // Line granularity: lines straddling the diagonal of the triangular
+    // output are written back whole, while the explicit model counts
+    // triangle words (measured: ≤ 7.3% at small scale, less at paper).
+    ("cholesky-wa", Agreement::Within(0.08)),
+    ("cholesky-rl", Agreement::Within(0.08)),
+    ("lu-wa", Agreement::Exact),
+    // Eager trailing updates rewrite blocks the simulated cache still
+    // holds (measured: exactly one b² coalesces per factorization).
+    ("lu-rl", Agreement::Within(0.12)),
+    // The explicit n-body model counts particles, the simulator words.
+    (
+        "nbody-wa",
+        Agreement::ExactTimes(nbody::force::WORDS_PER_BODY as u64),
+    ),
+    ("cg", Agreement::Exact),
+    ("ca-cg", Agreement::Exact),
+    ("ca-cg-streaming", Agreement::Exact),
+    ("tsqr-stream", Agreement::Exact),
+    ("tsqr-store", Agreement::Exact),
+];
+
+/// One line per workload: `name | group | backend:max_depth ...` in
+/// registration order — the snapshot of which matrix cells exist.
+fn render_cells() -> String {
+    let mut out = String::new();
+    for w in registry().iter() {
+        let backends: Vec<String> = w
+            .backends()
+            .iter()
+            .map(|&b| format!("{}:{}", b.as_str(), w.max_depth(b)))
+            .collect();
+        out.push_str(&format!(
+            "{} | {} | {}\n",
+            w.name(),
+            w.group(),
+            backends.join(" ")
+        ));
+    }
+    out
+}
+
+fn snapshot_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("snapshots")
+        .join("registry_cells.txt")
+}
+
+#[test]
+fn registry_snapshot_matches_checked_in_cells() {
+    let rendered = render_cells();
+    let path = snapshot_path();
+    if std::env::var("UPDATE_SNAPSHOT").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run UPDATE_SNAPSHOT=1 cargo test -p wa-bench \
+             --test backend_matrix to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        on_disk, rendered,
+        "the workload×backend matrix changed; if intentional, bless it with \
+         UPDATE_SNAPSHOT=1 cargo test -p wa-bench --test backend_matrix"
+    );
+}
+
+/// Structural invariants every report must satisfy, whatever produced it.
+fn check_schema(r: &RunReport, name: &str, backend: BackendKind, depth: usize) {
+    let ctx = format!("{name} on {backend} depth {depth}");
+    assert_eq!(r.workload, name, "{ctx}: workload echo");
+    assert_eq!(r.backend, backend, "{ctx}: backend echo");
+    match backend {
+        BackendKind::Simmed | BackendKind::Explicit => {
+            assert!(!r.boundaries.is_empty(), "{ctx}: boundary traffic");
+            assert_eq!(
+                r.writes_per_level.len(),
+                r.boundaries.len() + 1,
+                "{ctx}: one writes-per-level entry per level"
+            );
+            // The simulator models exactly `depth` cache levels; the
+            // explicit side may model fewer (e.g. the Krylov tally's
+            // single W12 boundary) but never more than requested.
+            if backend == BackendKind::Simmed {
+                assert_eq!(r.boundaries.len(), depth, "{ctx}: boundaries == depth");
+            }
+        }
+        BackendKind::Raw | BackendKind::Traced => {
+            assert!(r.boundaries.is_empty(), "{ctx}: no modeled hierarchy");
+        }
+    }
+    // CSV row arity always matches the header.
+    let cols = r.to_csv_row().split(',').count();
+    assert_eq!(
+        cols,
+        RunReport::CSV_HEADER.split(',').count(),
+        "{ctx}: CSV arity"
+    );
+    // JSON carries the stable schema keys.
+    let json = r.to_json();
+    for key in [
+        "\"workload\":",
+        "\"backend\":",
+        "\"scale\":",
+        "\"config\":",
+        "\"boundaries\":",
+        "\"writes_per_level\":",
+        "\"flops\":",
+        "\"wall_ns\":",
+        "\"notes\":",
+    ] {
+        assert!(json.contains(key), "{ctx}: JSON missing {key}");
+    }
+}
+
+#[test]
+fn every_cell_runs_at_every_advertised_depth() {
+    let reg = registry();
+    let mut cells = 0usize;
+    for w in reg.iter() {
+        for &backend in w.backends() {
+            for depth in 1..=w.max_depth(backend) {
+                let r = w
+                    .run_cfg(RunCfg::with_depth(backend, Scale::Small, depth))
+                    .unwrap_or_else(|e| panic!("{} on {backend} depth {depth}: {e}", w.name()));
+                check_schema(&r, w.name(), backend, depth);
+                cells += 1;
+            }
+        }
+        // One past the advertised maximum must be a structured refusal,
+        // not a panic or a silently shallow run.
+        let backend = w.backends()[0];
+        let over = w.max_depth(backend) + 1;
+        assert!(
+            w.run_cfg(RunCfg::with_depth(backend, Scale::Small, over))
+                .is_err(),
+            "{}: depth {over} must be rejected",
+            w.name()
+        );
+    }
+    assert!(
+        cells >= 60,
+        "expected a well-filled matrix, got {cells} cells"
+    );
+}
+
+/// Slow-memory writes across boundary `i` (counted from the fast end).
+fn store_words(r: &RunReport, i: usize) -> u64 {
+    r.boundaries[i].writes_to_slow()
+}
+
+#[test]
+fn explicit_and_simmed_writes_agree_on_every_dual_backend_cell() {
+    let reg = registry();
+    for w in reg.iter() {
+        let dual = w.supports(BackendKind::Explicit) && w.supports(BackendKind::Simmed);
+        if !dual {
+            continue;
+        }
+        let agreement = AGREEMENT
+            .iter()
+            .find(|(n, _)| *n == w.name())
+            .unwrap_or_else(|| {
+                panic!(
+                    "{} advertises explicit+simmed but has no AGREEMENT entry; \
+                     declare its cross-model tolerance",
+                    w.name()
+                )
+            })
+            .1;
+        let depths = w
+            .max_depth(BackendKind::Explicit)
+            .min(w.max_depth(BackendKind::Simmed));
+        for scale in [Scale::Small, Scale::Paper] {
+            for depth in 1..=depths {
+                let exp = w
+                    .run_cfg(RunCfg::with_depth(BackendKind::Explicit, scale, depth))
+                    .unwrap_or_else(|e| panic!("{} explicit: {e}", w.name()));
+                let sim = w
+                    .run_cfg(RunCfg::with_depth(BackendKind::Simmed, scale, depth))
+                    .unwrap_or_else(|e| panic!("{} simmed: {e}", w.name()));
+                // Boundaries shared by the two models, anchored at the
+                // fast end (the Krylov tally models only W12; the dense
+                // multi-level kernels model all of them).
+                let shared = exp.boundaries.len().min(sim.boundaries.len());
+                assert!(shared >= 1, "{}: no shared boundary", w.name());
+                for b in 0..shared {
+                    let e = store_words(&exp, b);
+                    let s = store_words(&sim, b);
+                    let ctx = format!(
+                        "{} @ {scale} depth {depth} boundary {b}: explicit {e} vs simmed {s}",
+                        w.name()
+                    );
+                    assert!(e > 0, "{ctx}: explicit writes must be positive");
+                    match agreement {
+                        Agreement::Exact => assert_eq!(e, s, "{ctx}"),
+                        Agreement::ExactTimes(f) => assert_eq!(e * f, s, "{ctx} (×{f})"),
+                        Agreement::Within(rel) => {
+                            let diff = e.abs_diff(s) as f64 / e as f64;
+                            assert!(diff <= rel, "{ctx}: rel diff {diff:.4} > {rel}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn agreement_table_has_no_stale_entries() {
+    let reg = registry();
+    for (name, _) in AGREEMENT {
+        let w = reg
+            .get(name)
+            .unwrap_or_else(|| panic!("AGREEMENT names unknown workload {name}"));
+        assert!(
+            w.supports(BackendKind::Explicit) && w.supports(BackendKind::Simmed),
+            "{name} no longer advertises both explicit and simmed; prune the entry"
+        );
+    }
+}

@@ -73,7 +73,7 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
             "cdag",
             "radix-2 Cooley-Tukey FFT: bounded reuse, writes within O(1) of reads (Cor 2)",
             &backends,
-            |backend, scale| {
+            |wa_core::engine::RunCfg { backend, scale, .. }| {
                 // Signal larger than fast memory so the butterflies spill.
                 let n = match scale {
                     Scale::Small => 1 << 13,
@@ -94,7 +94,7 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
             "cdag",
             "Strassen matmul: max reuse 4, so writes are Omega(flops/M^(log2 7 - 1)) (Cor 3)",
             &backends,
-            |backend, scale| {
+            |wa_core::engine::RunCfg { backend, scale, .. }| {
                 let n = match scale {
                     Scale::Small => 64,
                     Scale::Paper => 128,

@@ -7,6 +7,7 @@
 //! *right-looking* order updates the whole Schur complement after each
 //! panel, storing `Θ(n³/(6b))` words — asymptotically more (§4.3).
 
+use crate::explicit_mm::tri_words;
 use memsim::ExplicitHier;
 use wa_core::Mat;
 
@@ -75,10 +76,6 @@ fn trsm_right_lt(a: &mut Mat, (r0, r1): (usize, usize), (d0, d1): (usize, usize)
             a[(i, c)] = acc / a[(c, c)];
         }
     }
-}
-
-fn tri_words(b: usize) -> u64 {
-    (b * (b + 1) / 2) as u64
 }
 
 /// Left-looking WA blocked Cholesky (Algorithm 3). `a` is overwritten with

@@ -43,6 +43,18 @@ pub fn block_for(m: u64) -> usize {
     (((m / 3) as f64).sqrt().floor() as usize).max(1)
 }
 
+/// Triangle words (diagonal included) of a `b×b` block — the stored half
+/// of a symmetric/triangular operand in the explicit kernels.
+pub fn tri_words(b: usize) -> u64 {
+    (b * (b + 1) / 2) as u64
+}
+
+/// Strictly-lower-triangle words of a `b×b` block (the stored part of a
+/// unit-diagonal `L` factor).
+pub fn strict_lower_words(b: usize) -> u64 {
+    (b * (b - 1) / 2) as u64
+}
+
 /// Two-level Algorithm 1: `C += A·B` with explicit block movement across
 /// boundary 0 of `hier` (fast memory `M1`). `order` chooses the block-loop
 /// nest; `Ijk`/`Jik` (k innermost) are the WA orders.
@@ -122,10 +134,41 @@ pub fn explicit_mm_two_level(
 /// in the backing store `L_r`; each level `s` blocks at `b_s = √(M_s/3)` and
 /// the innermost level performs the arithmetic.
 pub fn explicit_mm_multilevel(a: &Mat, b: &Mat, c: &mut Mat, hier: &mut ExplicitHier) {
+    let blocks: Vec<usize> = (1..hier.num_levels())
+        .map(|lvl| block_for(hier.capacity(lvl)))
+        .collect();
+    explicit_mm_multilevel_blocks(a, b, c, hier, &blocks);
+}
+
+/// [`explicit_mm_multilevel`] with caller-chosen per-level block sizes:
+/// `blocks[s]` is the edge of the blocks moved *into* level `s+1`
+/// (1-indexed; `blocks[0]` is the innermost, L1-resident block). Used by
+/// the cross-model tests, which must run the explicit kernel and the cache
+/// simulator on identical blockings (line-aligned, Prop-6.2 slack) for the
+/// per-boundary counts to be comparable.
+pub fn explicit_mm_multilevel_blocks(
+    a: &Mat,
+    b: &Mat,
+    c: &mut Mat,
+    hier: &mut ExplicitHier,
+    blocks: &[usize],
+) {
     let r = hier.num_levels();
+    assert_eq!(blocks.len(), r - 1, "one block size per cache level");
+    for w in blocks.windows(2) {
+        assert!(w[0] <= w[1], "block sizes must grow away from L1");
+    }
+    for (s, &bsz) in blocks.iter().enumerate() {
+        assert!(
+            3 * (bsz * bsz) as u64 <= hier.capacity(s + 1),
+            "three {bsz}x{bsz} blocks must fit in L{} ({} words)",
+            s + 1,
+            hier.capacity(s + 1)
+        );
+    }
     let (m, l) = (a.rows(), b.cols());
     let n = a.cols();
-    rec_mm(a, b, c, hier, r, (0, m), (0, l), (0, n));
+    rec_mm(a, b, c, hier, blocks, r, (0, m), (0, l), (0, n));
 }
 
 /// Multiply the sub-blocks `C[ir, jr] += A[ir, kr] * B[kr, jr]`, with the
@@ -137,6 +180,7 @@ fn rec_mm(
     b: &Mat,
     c: &mut Mat,
     hier: &mut ExplicitHier,
+    blocks: &[usize],
     lvl: usize,
     ir: (usize, usize),
     jr: (usize, usize),
@@ -150,7 +194,7 @@ fn rec_mm(
     }
     let dest = lvl - 1; // move blocks into L_{lvl-1}
     let bnd = dest - 1; // boundary between L_dest and L_lvl
-    let bs = block_for(hier.capacity(dest));
+    let bs = blocks[dest - 1];
     let (i0, i1) = ir;
     let (j0, j1) = jr;
     let (k0, k1) = kr;
@@ -166,7 +210,17 @@ fn rec_mm(
                 let ck = bs.min(k1 - k);
                 hier.load(bnd, (ci * ck) as u64); // A block
                 hier.load(bnd, (ck * cj) as u64); // B block
-                rec_mm(a, b, c, hier, dest, (i, i + ci), (j, j + cj), (k, k + ck));
+                rec_mm(
+                    a,
+                    b,
+                    c,
+                    hier,
+                    blocks,
+                    dest,
+                    (i, i + ci),
+                    (j, j + cj),
+                    (k, k + ck),
+                );
                 hier.free(dest, (ci * ck + ck * cj) as u64);
                 k += ck;
             }

@@ -8,6 +8,7 @@
 //! memory. The right-looking variant pushes updates eagerly and stores
 //! `Θ(n²·nrhs/b)` words.
 
+use crate::explicit_mm::tri_words;
 use memsim::ExplicitHier;
 use wa_core::Mat;
 
@@ -42,11 +43,6 @@ fn solve_diag_range(t: &Mat, b: &mut Mat, (d0, d1): (usize, usize), (j0, j1): (u
             b[(i, j)] = acc / t[(i, i)];
         }
     }
-}
-
-/// Words in the triangular half (with diagonal) of a `b×b` block.
-fn tri_words(b: usize) -> u64 {
-    (b * (b + 1) / 2) as u64
 }
 
 /// Two-level WA TRSM (Algorithm 2): `T` is `n×n` upper triangular, `B` is

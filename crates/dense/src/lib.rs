@@ -4,7 +4,8 @@
 //! Section 6 instruction-order variants, in two interchangeable styles:
 //!
 //! * **Explicit-movement** versions ([`explicit_mm`], [`explicit_trsm`],
-//!   [`explicit_cholesky`] modules) follow Algorithms 1–3 line by line:
+//!   [`explicit_cholesky`], [`explicit_lu`] modules) follow Algorithms 1–3
+//!   (and the Section 7.2 LU orders) line by line:
 //!   the kernel issues block `load`/`store` operations on a
 //!   [`memsim::ExplicitHier`] and the model verifies capacities and counts
 //!   exactly the totals annotated in the paper's listings.
@@ -18,6 +19,7 @@
 pub mod cholesky;
 pub mod desc;
 pub mod explicit_cholesky;
+pub mod explicit_lu;
 pub mod explicit_mm;
 pub mod explicit_trsm;
 pub mod lu;

@@ -32,6 +32,17 @@ fn lu_base<M: Mem>(mem: &mut M, a: MatDesc) {
         if tail > 0 {
             mem.ld_run(a.idx(k, k + 1), &mut urow[..tail]);
         }
+        if k == 0 {
+            // Rows 1.. are written by their updates below; row 0 of U
+            // (= row 0 of A) would otherwise never be written. Store it
+            // once so every output element is written at least once and
+            // the block's simulated dirty footprint (write-backs after a
+            // flush) matches the explicit model's full-block store.
+            mem.st(a.idx(0, 0), akk);
+            if tail > 0 {
+                mem.st_run(a.idx(0, 1), &urow[..tail]);
+            }
+        }
         for i in k + 1..a.rows {
             let lik = mem.ld(a.idx(i, k)) / akk;
             mem.st(a.idx(i, k), lik);
@@ -152,14 +163,6 @@ mod tests {
     use memsim::RawMem;
     use wa_core::Mat;
 
-    fn diagonally_dominant(n: usize, seed: u64) -> Mat {
-        let mut a = Mat::random(n, n, seed);
-        for i in 0..n {
-            a[(i, i)] = a[(i, i)].abs() + n as f64;
-        }
-        a
-    }
-
     fn reconstruct(lu: &Mat) -> Mat {
         let n = lu.rows();
         let l = Mat::from_fn(n, n, |i, j| {
@@ -176,7 +179,7 @@ mod tests {
     }
 
     fn check(n: usize, bsize: usize, variant: LuVariant) {
-        let a0 = diagonally_dominant(n, 41);
+        let a0 = Mat::random_diagdom(n, 41);
         let (d, words) = alloc_layout(&[(n, n)]);
         let mut mem = RawMem::new(words);
         d[0].store_mat(&mut mem, &a0);
@@ -208,7 +211,7 @@ mod tests {
     #[test]
     fn variants_agree() {
         let n = 20;
-        let a0 = diagonally_dominant(n, 43);
+        let a0 = Mat::random_diagdom(n, 43);
         let (d, words) = alloc_layout(&[(n, n)]);
         let mut m1 = RawMem::new(words);
         let mut m2 = RawMem::new(words);

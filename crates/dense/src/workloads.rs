@@ -3,8 +3,9 @@
 //! Each paper algorithm variant registers once; the run function projects
 //! whichever backend was requested into a [`RunReport`]:
 //!
-//! * `explicit` — the Algorithm 1–3 explicit-movement kernels on a
-//!   two-level [`ExplicitHier`] whose fast memory is the scale's L3;
+//! * `explicit` — the Algorithm 1–3 explicit-movement kernels (plus the
+//!   §7.2 LU orders) on a two-level [`ExplicitHier`] whose fast memory is
+//!   the scale's L3;
 //! * `simmed` — the access-driven kernels through a fully-associative
 //!   true-LRU L3-sized simulator (the Propositions 6.1/6.2 setting),
 //!   flushed before reporting so end-of-run dirty state is charged;
@@ -15,18 +16,27 @@
 //! is `2·b_sim` where `b_sim = ⌊√(M/5)⌋` rounded down to a whole number
 //! of lines, so block edges align with cache lines and the simulated
 //! write-backs are exactly the output size for WA orders (Prop 6.1).
+//!
+//! `matmul-wa` additionally models hierarchy depths 2 and 3 (see
+//! [`deep_geometry`]): the explicit kernel recurses through
+//! [`explicit_mm_multilevel_blocks`] and the simulator stacks one
+//! fully-associative LRU level per depth, on *identical* line-aligned
+//! blockings with Prop-6.2 slack, so the per-boundary write counts of the
+//! two models are directly comparable at every level.
 
 use crate::cholesky::{blocked_cholesky, CholVariant};
 use crate::desc::alloc_layout;
 use crate::explicit_cholesky::{explicit_cholesky_ll, explicit_cholesky_rl};
-use crate::explicit_mm::explicit_mm_two_level;
+use crate::explicit_lu::{explicit_lu_ll, explicit_lu_rl};
+use crate::explicit_mm::{explicit_mm_multilevel_blocks, explicit_mm_two_level};
 use crate::explicit_trsm::{explicit_trsm_rl, explicit_trsm_wa};
 use crate::lu::{blocked_lu, LuVariant};
+use crate::matmul::multilevel::{ml_matmul, RecOrder};
 use crate::matmul::{blocked_matmul, co_matmul, LoopOrder};
 use crate::trsm::{blocked_trsm, TrsmVariant};
 use memsim::xeon::XeonGeometry;
 use memsim::{explicit_report, memsim_report, ExplicitHier, Mem, MemSim, RawMem, SimMem, TraceMem};
-use wa_core::engine::{BackendKind, EngineError, FnWorkload, Scale, Workload};
+use wa_core::engine::{BackendKind, EngineError, FnWorkload, RunCfg, Scale, Workload};
 use wa_core::report::{timed, RunReport};
 use wa_core::Mat;
 
@@ -41,6 +51,24 @@ pub fn sim_block_and_dim(scale: Scale) -> (usize, usize) {
     let m = fast_words(scale);
     let b = ((((m / 5) as f64).sqrt()) as usize / 8 * 8).max(8);
     (b, 2 * b)
+}
+
+/// Geometry for the depth-`d` (d ≥ 2) cross-model hierarchies: per-level
+/// block sizes (smallest first, line-aligned, doubling per level), level
+/// capacities in words with Proposition-6.2 slack (five blocks per
+/// level), and the matrix dimension `n = 2·b_top`. Both the explicit
+/// multi-level kernel and the stacked-LRU simulator run this exact
+/// blocking, which is what makes their per-boundary counts comparable.
+pub fn deep_geometry(scale: Scale, depth: usize) -> (Vec<usize>, Vec<u64>, usize) {
+    assert!(depth >= 1);
+    let b0: usize = match scale {
+        Scale::Small => 8,
+        Scale::Paper => 16,
+    };
+    let blocks: Vec<usize> = (0..depth).map(|s| b0 << s).collect();
+    let caps: Vec<u64> = blocks.iter().map(|&b| 5 * (b * b) as u64).collect();
+    let n = 2 * blocks[depth - 1];
+    (blocks, caps, n)
 }
 
 /// Single-level (L3-only) fully-associative LRU simulator of `m` words.
@@ -115,6 +143,74 @@ fn run_mem_kernel(
     }
 }
 
+/// A depth-`d` stacked hierarchy of fully-associative true-LRU levels
+/// (one per entry of `caps`), the simulated side of the multi-level
+/// cross-model check.
+fn deep_sim(caps: &[u64]) -> MemSim {
+    let words: Vec<usize> = caps.iter().map(|&w| w as usize).collect();
+    MemSim::stacked_lru(&words)
+}
+
+/// The depth ≥ 2 scenarios of `matmul-wa`: explicit multi-level recursion
+/// vs the stacked-LRU simulator, on identical blockings.
+fn run_matmul_wa_deep(cfg: RunCfg) -> Result<RunReport, EngineError> {
+    let RunCfg {
+        backend,
+        scale,
+        depth,
+    } = cfg;
+    let (blocks, caps, n) = deep_geometry(scale, depth);
+    let a = Mat::random(n, n, 11);
+    let b = Mat::random(n, n, 12);
+    let blocks_echo = blocks
+        .iter()
+        .map(|b| b.to_string())
+        .collect::<Vec<_>>()
+        .join("/");
+    match backend {
+        BackendKind::Explicit => {
+            let mut c = Mat::zeros(n, n);
+            let mut sizes = caps.clone();
+            sizes.push(u64::MAX);
+            let mut h = ExplicitHier::new(&sizes);
+            let (_, ns) = timed(|| explicit_mm_multilevel_blocks(&a, &b, &mut c, &mut h, &blocks));
+            let mut r = explicit_report(&h, base_report("matmul-wa", backend, scale, n))
+                .config("depth", depth)
+                .config("blocks", &blocks_echo);
+            r.wall_ns = ns;
+            Ok(r)
+        }
+        BackendKind::Simmed => {
+            let c0 = Mat::zeros(n, n);
+            let (d, data) = stage(&[&a, &b, &c0]);
+            let mut mem = SimMem::from_vec(data, deep_sim(&caps));
+            let mut big_first = blocks.clone();
+            big_first.reverse();
+            let (_, ns) = timed(|| {
+                ml_matmul(
+                    &mut mem,
+                    d[0],
+                    d[1],
+                    d[2],
+                    &big_first,
+                    RecOrder::COuter,
+                    RecOrder::COuter,
+                )
+            });
+            mem.sim.flush();
+            let mut r = memsim_report(&mem.sim, base_report("matmul-wa", backend, scale, n))
+                .config("depth", depth)
+                .config("blocks", &blocks_echo)
+                .note("flushed: end-of-run dirty lines charged to the DRAM boundary");
+            r.wall_ns = ns;
+            Ok(r)
+        }
+        // FnWorkload::run_cfg rejects depth > max_depth before the
+        // closure runs, and only explicit/simmed advertise depth > 1.
+        other => unreachable!("depth {depth} advertised only for explicit/simmed, got {other}"),
+    }
+}
+
 /// Matmul workloads: WA (`k` innermost) and non-WA (`k` outermost) blocked
 /// orders, plus the cache-oblivious recursion.
 fn matmul_workload(
@@ -132,33 +228,38 @@ fn matmul_workload(
     } else {
         vec![BackendKind::Raw, BackendKind::Simmed, BackendKind::Traced]
     };
-    FnWorkload::boxed(
-        name,
-        "dense",
-        description,
-        &backends,
-        move |backend, scale| {
-            let (bsize, n) = sim_block_and_dim(scale);
-            let a = Mat::random(n, n, 11);
-            let b = Mat::random(n, n, 12);
-            if backend == BackendKind::Explicit {
-                let order = order.expect("explicit requires a loop order");
-                let mut c = Mat::zeros(n, n);
-                let mut h = ExplicitHier::two_level(fast_words(scale) as u64);
-                let (_, ns) = timed(|| explicit_mm_two_level(&a, &b, &mut c, &mut h, order));
-                let mut r = explicit_report(&h, base_report(name, backend, scale, n))
-                    .config("order", format!("{order:?}"));
-                r.wall_ns = ns;
-                return Ok(r);
-            }
-            let c0 = Mat::zeros(n, n);
-            run_mem_kernel(name, backend, scale, &[&a, &b, &c0], |mem, d| match order {
-                Some(o) => blocked_matmul(mem, d[0], d[1], d[2], bsize, o),
-                None => co_matmul(mem, d[0], d[1], d[2], 16),
-            })
-            .map(|r| r.config("block", bsize))
-        },
-    )
+    // Only the WA order has a multi-level explicit kernel (§4.1 induction)
+    // to compare the stacked simulator against.
+    let depths: &[(BackendKind, usize)] = if order == Some(LoopOrder::Ijk) {
+        &[(BackendKind::Explicit, 3), (BackendKind::Simmed, 3)]
+    } else {
+        &[]
+    };
+    FnWorkload::boxed_deep(name, "dense", description, &backends, depths, move |cfg| {
+        let RunCfg { backend, scale, .. } = cfg;
+        if cfg.depth > 1 {
+            return run_matmul_wa_deep(cfg);
+        }
+        let (bsize, n) = sim_block_and_dim(scale);
+        let a = Mat::random(n, n, 11);
+        let b = Mat::random(n, n, 12);
+        if backend == BackendKind::Explicit {
+            let order = order.expect("explicit requires a loop order");
+            let mut c = Mat::zeros(n, n);
+            let mut h = ExplicitHier::two_level(fast_words(scale) as u64);
+            let (_, ns) = timed(|| explicit_mm_two_level(&a, &b, &mut c, &mut h, order));
+            let mut r = explicit_report(&h, base_report(name, backend, scale, n))
+                .config("order", format!("{order:?}"));
+            r.wall_ns = ns;
+            return Ok(r);
+        }
+        let c0 = Mat::zeros(n, n);
+        run_mem_kernel(name, backend, scale, &[&a, &b, &c0], |mem, d| match order {
+            Some(o) => blocked_matmul(mem, d[0], d[1], d[2], bsize, o),
+            None => co_matmul(mem, d[0], d[1], d[2], 16),
+        })
+        .map(|r| r.config("block", bsize))
+    })
 }
 
 pub fn workloads() -> Vec<Box<dyn Workload>> {
@@ -223,7 +324,7 @@ fn trsm_workload(name: &'static str, description: &'static str, wa: bool) -> Box
         "dense",
         description,
         &backends,
-        move |backend, scale| {
+        move |RunCfg { backend, scale, .. }| {
             let (bsize, n) = sim_block_and_dim(scale);
             let t = Mat::random_upper_triangular(n, 21);
             let x = Mat::random(n, n, 22);
@@ -267,7 +368,7 @@ fn cholesky_workload(name: &'static str, description: &'static str, wa: bool) ->
         "dense",
         description,
         &backends,
-        move |backend, scale| {
+        move |RunCfg { backend, scale, .. }| {
             let (bsize, n) = sim_block_and_dim(scale);
             let spd = Mat::random_spd(n, 31);
             if backend == BackendKind::Explicit {
@@ -302,18 +403,30 @@ fn lu_workload(
     description: &'static str,
     variant: LuVariant,
 ) -> Box<dyn Workload> {
-    let backends = [BackendKind::Raw, BackendKind::Simmed, BackendKind::Traced];
+    let backends = [
+        BackendKind::Raw,
+        BackendKind::Simmed,
+        BackendKind::Traced,
+        BackendKind::Explicit,
+    ];
     FnWorkload::boxed(
         name,
         "dense",
         description,
         &backends,
-        move |backend, scale| {
+        move |RunCfg { backend, scale, .. }| {
             let (bsize, n) = sim_block_and_dim(scale);
-            // Diagonally dominant so the pivot-free factorization is stable.
-            let mut a = Mat::random(n, n, 41);
-            for i in 0..n {
-                a[(i, i)] = a[(i, i)].abs() + n as f64;
+            let a = Mat::random_diagdom(n, 41);
+            if backend == BackendKind::Explicit {
+                let mut lu = a.clone();
+                let mut h = ExplicitHier::two_level(fast_words(scale) as u64);
+                let (_, ns) = timed(|| match variant {
+                    LuVariant::LeftLooking => explicit_lu_ll(&mut lu, &mut h),
+                    LuVariant::RightLooking => explicit_lu_rl(&mut lu, &mut h),
+                });
+                let mut r = explicit_report(&h, base_report(name, backend, scale, n));
+                r.wall_ns = ns;
+                return Ok(r);
             }
             run_mem_kernel(name, backend, scale, &[&a], move |mem, d| {
                 blocked_lu(mem, d[0], bsize, variant)
@@ -352,5 +465,46 @@ mod tests {
         assert_eq!(exp.writes_to_slow(), out);
         let sim = w.run(BackendKind::Simmed, Scale::Small).unwrap();
         assert_eq!(sim.writes_to_slow(), out);
+    }
+
+    #[test]
+    fn explicit_lu_ll_stores_the_output_and_agrees_with_simmed() {
+        let reg: Vec<Box<dyn Workload>> = workloads();
+        let w = reg.iter().find(|w| w.name() == "lu-wa").unwrap();
+        let (_, n) = sim_block_and_dim(Scale::Small);
+        let out = (n * n) as u64;
+        let exp = w.run(BackendKind::Explicit, Scale::Small).unwrap();
+        assert_eq!(exp.writes_to_slow(), out);
+        let sim = w.run(BackendKind::Simmed, Scale::Small).unwrap();
+        assert_eq!(sim.writes_to_slow(), out);
+    }
+
+    #[test]
+    fn deep_matmul_boundary_counts_agree_at_every_level() {
+        let reg: Vec<Box<dyn Workload>> = workloads();
+        let w = reg.iter().find(|w| w.name() == "matmul-wa").unwrap();
+        for depth in [2usize, 3] {
+            let exp = w
+                .run_cfg(RunCfg::with_depth(
+                    BackendKind::Explicit,
+                    Scale::Small,
+                    depth,
+                ))
+                .unwrap();
+            let sim = w
+                .run_cfg(RunCfg::with_depth(BackendKind::Simmed, Scale::Small, depth))
+                .unwrap();
+            assert_eq!(exp.boundaries.len(), depth);
+            assert_eq!(sim.boundaries.len(), depth);
+            for b in 0..depth {
+                assert_eq!(
+                    exp.boundaries[b].store_words, sim.boundaries[b].store_words,
+                    "depth {depth} boundary {b}"
+                );
+            }
+            // The slowest boundary stores exactly the output.
+            let (_, _, n) = deep_geometry(Scale::Small, depth);
+            assert_eq!(exp.writes_to_slow(), (n * n) as u64);
+        }
     }
 }

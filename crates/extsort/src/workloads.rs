@@ -36,7 +36,7 @@ fn sort_workload(
         "extsort",
         description,
         &backends,
-        move |backend, scale| {
+        move |wa_core::engine::RunCfg { backend, scale, .. }| {
             let (n, m) = problem(scale);
             let mut data = random_data(n);
             let mut io = SortIo::default();

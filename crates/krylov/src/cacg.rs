@@ -20,8 +20,9 @@
 
 use crate::basis::{h_apply, BasisKind};
 use crate::cg::SolveResult;
-use crate::counter::IoTally;
+use crate::counter::IoSink;
 use crate::csr::Csr;
+use memsim::LINE_WORDS;
 
 /// Options for one CA-CG run.
 #[derive(Clone, Debug)]
@@ -67,22 +68,26 @@ fn ghost_ranges(a: &Csr, r0: usize, r1: usize, maxdeg: usize) -> Vec<(usize, usi
 /// Compute rows `[r0, r1)` of all basis columns for seed `v` (degree 0) up
 /// to degree `maxdeg`, using ghost zones. Returns, for each degree `j`,
 /// the values on `rg[j]` (so callers can slice out `[r0, r1)`), plus the
-/// ranges. Charges reads for the seed and matrix rows touched.
-fn block_powers(
+/// ranges. Charges reads for the seed (resident at nominal address
+/// `vseed`) and the matrix rows touched (values at `va`).
+#[allow(clippy::too_many_arguments)] // matrix + seed + range + two addresses; the recursion-free body keeps them flat
+fn block_powers<S: IoSink>(
     a: &Csr,
     v: &[f64],
+    vseed: usize,
+    va: usize,
     r0: usize,
     r1: usize,
     maxdeg: usize,
     shifts: &BasisKind,
-    io: &mut IoTally,
+    io: &mut S,
 ) -> (Vec<Vec<f64>>, Vec<(usize, usize)>) {
     let rg = ghost_ranges(a, r0, r1, maxdeg);
     let n = a.rows;
     let mut levels: Vec<Vec<f64>> = Vec::with_capacity(maxdeg + 1);
     // Degree 0: read the seed on the widest range.
     let (lo0, hi0) = rg[0];
-    io.read(hi0 - lo0);
+    io.read_at(vseed + lo0, hi0 - lo0);
     let mut cur = vec![0.0; n];
     cur[lo0..hi0].copy_from_slice(&v[lo0..hi0]);
     levels.push(cur.clone());
@@ -92,7 +97,7 @@ fn block_powers(
         a.spmv_range(&cur, &mut next, lo, hi);
         // Matrix rows [lo, hi) are read once per level.
         let nnz_rows: usize = a.row_ptr[hi] - a.row_ptr[lo];
-        io.read(nnz_rows);
+        io.read_at(va + a.row_ptr[lo], nnz_rows);
         io.flop(2 * nnz_rows);
         let theta = shifts.shift(j);
         if theta != 0.0 {
@@ -109,7 +114,13 @@ fn block_powers(
 
 /// CA-CG solve of SPD `A·x = b`. See [`CaCgOptions`]; returns iterates
 /// equivalent (in exact arithmetic) to `s·outer` steps of [`crate::cg::cg`].
-pub fn ca_cg(a: &Csr, b: &[f64], x0: &[f64], opts: &CaCgOptions, io: &mut IoTally) -> SolveResult {
+pub fn ca_cg<S: IoSink>(
+    a: &Csr,
+    b: &[f64],
+    x0: &[f64],
+    opts: &CaCgOptions,
+    io: &mut S,
+) -> SolveResult {
     let n = a.rows;
     let s = opts.s;
     assert!(s >= 1);
@@ -117,28 +128,35 @@ pub fn ca_cg(a: &Csr, b: &[f64], x0: &[f64], opts: &CaCgOptions, io: &mut IoTall
     let h = opts.basis.h_matrix(s);
     let bs = opts.block_rows.max(1);
 
+    // Nominal slow-memory layout: line-aligned spans for x, r, p, b, the
+    // matrix values, and (storing variant) the n×m basis V. The tally
+    // ignores the addresses; the simulated sink caches them.
+    let n8 = n.div_ceil(LINE_WORDS) * LINE_WORDS;
+    let (vx, vr, vp, vb, va) = (0, n8, 2 * n8, 3 * n8, 4 * n8);
+    let vv = va + a.nnz().div_ceil(LINE_WORDS) * LINE_WORDS;
+
     let mut x = x0.to_vec();
     // r = b − A·x0; p = r.
     let mut r = vec![0.0; n];
     a.spmv(&x, &mut r);
     // One message per stream: the matrix, then each n-vector.
-    io.read(a.nnz());
-    io.read(n);
-    io.write(n);
+    io.read_at(va, a.nnz());
+    io.read_at(vx, n);
+    io.write_at(vr, n);
     io.flop(2 * a.nnz());
     for i in 0..n {
         r[i] = b[i] - r[i];
     }
-    io.read(n);
-    io.read(n);
-    io.write(n);
+    io.read_at(vb, n);
+    io.read_at(vr, n);
+    io.write_at(vr, n);
     let mut p = r.clone();
-    io.read(n);
-    io.write(n);
+    io.read_at(vr, n);
+    io.write_at(vp, n);
 
     let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
     let mut delta = r.iter().map(|v| v * v).sum::<f64>();
-    io.read(n);
+    io.read_at(vr, n);
     io.flop(2 * n);
     let mut history = vec![delta.sqrt() / bnorm];
     let mut outer = 0;
@@ -155,8 +173,8 @@ pub fn ca_cg(a: &Csr, b: &[f64], x0: &[f64], opts: &CaCgOptions, io: &mut IoTall
         let mut r0 = 0;
         while r0 < n {
             let r1 = (r0 + bs).min(n);
-            let (pl, _) = block_powers(a, &p, r0, r1, s, &opts.basis, io);
-            let (rl, _) = block_powers(a, &r, r0, r1, s - 1, &opts.basis, io);
+            let (pl, _) = block_powers(a, &p, vp, va, r0, r1, s, &opts.basis, io);
+            let (rl, _) = block_powers(a, &r, vr, va, r0, r1, s - 1, &opts.basis, io);
             // Column view of this block: degrees 0..s from p, 0..s-1 from r.
             let col = |j: usize, i: usize| -> f64 {
                 if j <= s {
@@ -186,8 +204,10 @@ pub fn ca_cg(a: &Csr, b: &[f64], x0: &[f64], opts: &CaCgOptions, io: &mut IoTall
                     for (i, v) in vj[r0..r1].iter_mut().enumerate() {
                         *v = col(j, r0 + i);
                     }
+                    // One write run per basis column block: the storing
+                    // variant's Θ(s·n) slow-memory writes.
+                    io.write_at(vv + j * n8 + r0, r1 - r0);
                 }
-                io.write(m * (r1 - r0)); // the storing variant's Θ(s·n)
             }
             r0 = r1;
         }
@@ -247,7 +267,9 @@ pub fn ca_cg(a: &Csr, b: &[f64], x0: &[f64], opts: &CaCgOptions, io: &mut IoTall
         while r0b < n {
             let r1b = (r0b + bs).min(n);
             if let Some(vs) = v_store.as_ref() {
-                io.read(m * (r1b - r0b));
+                for j in 0..m {
+                    io.read_at(vv + j * n8 + r0b, r1b - r0b);
+                }
                 for i in r0b..r1b {
                     let (mut np, mut nr, mut nx) = (0.0, 0.0, 0.0);
                     for j in 0..m {
@@ -261,8 +283,11 @@ pub fn ca_cg(a: &Csr, b: &[f64], x0: &[f64], opts: &CaCgOptions, io: &mut IoTall
                     x[i] += nx;
                 }
             } else {
-                let (pl, _) = block_powers(a, &p_old, r0b, r1b, s, &opts.basis, io);
-                let (rl, _) = block_powers(a, &r_old, r0b, r1b, s - 1, &opts.basis, io);
+                // Streaming recomputation reads the *old* p and r at
+                // their original addresses (the new vectors land at the
+                // same spans only after this block's writes).
+                let (pl, _) = block_powers(a, &p_old, vp, va, r0b, r1b, s, &opts.basis, io);
+                let (rl, _) = block_powers(a, &r_old, vr, va, r0b, r1b, s - 1, &opts.basis, io);
                 let col = |j: usize, i: usize| -> f64 {
                     if j <= s {
                         pl[j][i]
@@ -284,7 +309,10 @@ pub fn ca_cg(a: &Csr, b: &[f64], x0: &[f64], opts: &CaCgOptions, io: &mut IoTall
                 }
             }
             io.flop(6 * m * (r1b - r0b));
-            io.write(3 * (r1b - r0b)); // p, r, x — the only writes
+            // p, r, x — the only writes of the streaming variant.
+            io.write_at(vp + r0b, r1b - r0b);
+            io.write_at(vr + r0b, r1b - r0b);
+            io.write_at(vx + r0b, r1b - r0b);
             r0b = r1b;
         }
 
@@ -316,6 +344,7 @@ pub fn ca_cg(a: &Csr, b: &[f64], x0: &[f64], opts: &CaCgOptions, io: &mut IoTall
 mod tests {
     use super::*;
     use crate::cg::cg;
+    use crate::counter::IoTally;
     use crate::stencil::{band_1d, laplacian_2d};
     use wa_core::XorShift;
 

@@ -5,8 +5,9 @@
 //! slow-memory span, so the tally's message counts equal the number of
 //! vector transfers (the block-transfer notion of the model).
 
-use crate::counter::IoTally;
+use crate::counter::IoSink;
 use crate::csr::Csr;
+use memsim::LINE_WORDS;
 use wa_core::AccessRun;
 
 /// Result of a CG / CA-CG solve.
@@ -22,10 +23,10 @@ pub struct SolveResult {
     pub history: Vec<f64>,
 }
 
-fn dot(a: &[f64], b: &[f64], io: &mut IoTally) -> f64 {
+fn dot<S: IoSink>(a: &[f64], b: &[f64], va: usize, vb: usize, io: &mut S) -> f64 {
     // Two vector streams = two read runs (one message each).
-    io.read(a.len());
-    io.read(b.len());
+    io.read_at(va, a.len());
+    io.read_at(vb, b.len());
     io.flop(2 * a.len());
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
@@ -47,22 +48,24 @@ fn norm2(a: &[f64]) -> f64 {
 /// assert!(r.residual < 1e-8);
 /// assert!(io.writes() > 0);
 /// ```
-pub fn cg(
+pub fn cg<S: IoSink>(
     a: &Csr,
     b: &[f64],
     x0: &[f64],
     tol: f64,
     max_iters: usize,
-    io: &mut IoTally,
+    io: &mut S,
 ) -> SolveResult {
     let n = a.rows;
     assert_eq!(b.len(), n);
     let mut x = x0.to_vec();
     let mut r = vec![0.0; n];
     let mut w = vec![0.0; n];
-    // Nominal slow-memory spans of the solver's streams (the addresses
-    // only label the runs; the tally charges words and messages).
-    let (vx, vr, vp, vw, vb, va) = (0, n, 2 * n, 3 * n, 4 * n, 5 * n);
+    // Nominal slow-memory spans of the solver's streams. The tally only
+    // charges words and messages; the simulated sink caches the spans, so
+    // they are line-aligned to keep its write-backs word-comparable.
+    let n8 = n.div_ceil(LINE_WORDS) * LINE_WORDS;
+    let (vx, vr, vp, vw, vb, va) = (0, n8, 2 * n8, 3 * n8, 4 * n8, 5 * n8);
     // r = b − A x0
     a.spmv(&x, &mut r);
     io.run(&[
@@ -82,7 +85,7 @@ pub fn cg(
     let mut p = r.clone();
     io.run(&[AccessRun::read(vr, n), AccessRun::write(vp, n)]);
     let bnorm = norm2(b).max(1e-300);
-    let mut delta = dot(&r, &r, io);
+    let mut delta = dot(&r, &r, vr, vr, io);
     let mut history = vec![delta.sqrt() / bnorm];
 
     let mut iters = 0;
@@ -94,7 +97,7 @@ pub fn cg(
             AccessRun::write(vw, n),
         ]);
         io.flop(2 * a.nnz());
-        let alpha = delta / dot(&p, &w, io);
+        let alpha = delta / dot(&p, &w, vp, vw, io);
         for i in 0..n {
             x[i] += alpha * p[i];
             r[i] -= alpha * w[i];
@@ -108,7 +111,7 @@ pub fn cg(
             AccessRun::write(vr, n),
         ]);
         io.flop(4 * n);
-        let delta_new = dot(&r, &r, io);
+        let delta_new = dot(&r, &r, vr, vr, io);
         let beta = delta_new / delta;
         for i in 0..n {
             p[i] = r[i] + beta * p[i];
@@ -139,6 +142,7 @@ pub fn cg(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counter::IoTally;
     use crate::stencil::{band_1d, laplacian_2d};
     use wa_core::XorShift;
 
@@ -182,6 +186,29 @@ mod tests {
             "writes/iter {per_iter} vs 4n = {}",
             4 * n
         );
+    }
+
+    /// Pin the tally of one hand-computed CG iteration, words *and*
+    /// messages (a message = one vector/matrix stream transfer — the
+    /// block-transfer unit documented on `RunReport::boundaries`).
+    ///
+    /// Setup (`r = b − A·x0`, `p = r`, `δ = rᵀr`):
+    ///   loads  nnz + 6n words in 7 runs, stores 3n words in 3 runs.
+    /// One iteration (`w = A·p`, two dots, x/r update, p update):
+    ///   loads  nnz + 11n words in 12 runs, stores 4n words in 4 runs.
+    #[test]
+    fn one_iteration_tally_matches_hand_count() {
+        let a = laplacian_2d(8, 8, 0.0);
+        let (n, nnz) = (a.rows as u64, a.nnz() as u64);
+        let b = vec![1.0; a.rows];
+        let mut io = IoTally::default();
+        let r = cg(&a, &b, &vec![0.0; a.rows], 1e-30, 1, &mut io);
+        assert_eq!(r.iters, 1, "must run exactly one iteration");
+        let t = io.traffic;
+        assert_eq!(t.load_words, 2 * nnz + 17 * n);
+        assert_eq!(t.load_msgs, 19);
+        assert_eq!(t.store_words, 7 * n);
+        assert_eq!(t.store_msgs, 7);
     }
 
     #[test]

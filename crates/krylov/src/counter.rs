@@ -1,14 +1,46 @@
-//! Slow-memory traffic tally for the Krylov kernels.
+//! Slow-memory traffic charging for the Krylov kernels.
 //!
 //! Explicit-model convention of §8: the matrix and all n-vectors reside in
 //! slow memory (n ≫ M₁); scalars and every O(s)×O(s) object live in fast
 //! memory for free. Kernels charge reads and writes of vector/matrix
 //! streams as they move them — each charge is one *run* (one block
-//! transfer), recorded through the batched [`Traffic`] API, so the tally
-//! carries message counts (`load_msgs`/`store_msgs`) alongside the word
-//! counts instead of the former word-granular `msgs == words` fiction.
+//! transfer) over that stream's nominal slow-memory span.
+//!
+//! The kernels are generic over [`IoSink`], which has two substrates:
+//!
+//! * [`IoTally`] — the hand-counted explicit model: word/message totals
+//!   on a single fast↔slow boundary (the paper's `W12`), recorded through
+//!   the batched [`Traffic`] API (so `msgs` means block transfers, not
+//!   words);
+//! * [`SimIo`] — the *same* run stream replayed through the multi-level
+//!   cache simulator ([`memsim::MemSim`]): the `simmed` backend, whose
+//!   line-granular write-backs the cross-model tests compare against the
+//!   tally.
 
+use memsim::MemSim;
 use wa_core::{AccessRun, Traffic};
+
+/// The charging surface the Krylov kernels drive. Addresses are *nominal*
+/// slow-memory word spans (each vector/matrix stream owns a line-aligned
+/// range); the tally ignores them, the simulator caches them.
+pub trait IoSink {
+    /// Charge one read run of `words` words starting at `addr`.
+    fn read_at(&mut self, addr: usize, words: usize);
+    /// Charge one write run of `words` words starting at `addr`.
+    fn write_at(&mut self, addr: usize, words: usize);
+    /// Charge `n` floating-point operations.
+    fn flop(&mut self, n: usize);
+    /// Charge a batch of access runs.
+    fn run(&mut self, runs: &[AccessRun]) {
+        for r in runs {
+            if r.is_write {
+                self.write_at(r.addr, r.words);
+            } else {
+                self.read_at(r.addr, r.words);
+            }
+        }
+    }
+}
 
 /// Slow-memory traffic of a Krylov solve (the `W12` of the paper's §8),
 /// kept as a one-boundary [`Traffic`]: `load_*` = reads from slow memory,
@@ -58,10 +90,60 @@ impl IoTally {
     }
 }
 
+impl IoSink for IoTally {
+    fn read_at(&mut self, _addr: usize, words: usize) {
+        self.read(words);
+    }
+
+    fn write_at(&mut self, _addr: usize, words: usize) {
+        self.write(words);
+    }
+
+    fn flop(&mut self, n: usize) {
+        self.flops += n as u64;
+    }
+
+    fn run(&mut self, runs: &[AccessRun]) {
+        self.traffic.run(runs);
+    }
+}
+
 impl std::ops::AddAssign for IoTally {
     fn add_assign(&mut self, o: IoTally) {
         self.traffic += o.traffic;
         self.flops += o.flops;
+    }
+}
+
+/// [`IoSink`] that replays the kernel's run stream through the cache
+/// simulator — the Krylov `simmed` backend. Flush the simulator before
+/// reporting so end-of-run dirty lines are charged.
+pub struct SimIo {
+    pub sim: MemSim,
+    pub flops: u64,
+}
+
+impl SimIo {
+    pub fn new(sim: MemSim) -> Self {
+        SimIo { sim, flops: 0 }
+    }
+}
+
+impl IoSink for SimIo {
+    fn read_at(&mut self, addr: usize, words: usize) {
+        self.sim.read_range(addr, words);
+    }
+
+    fn write_at(&mut self, addr: usize, words: usize) {
+        self.sim.write_range(addr, words);
+    }
+
+    fn flop(&mut self, n: usize) {
+        self.flops += n as u64;
+    }
+
+    fn run(&mut self, runs: &[AccessRun]) {
+        self.sim.run(runs);
     }
 }
 

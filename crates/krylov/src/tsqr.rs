@@ -17,7 +17,8 @@
 //! compensated by the reproducibility of the generator (exactly like
 //! streaming matrix powers recomputes the basis).
 
-use crate::counter::IoTally;
+use crate::counter::IoSink;
+use memsim::LINE_WORDS;
 
 /// In-place Householder QR of an `r×c` row-major block (`r ≥ c` not
 /// required); returns the `c×c` upper-triangular R (row-major).
@@ -75,22 +76,26 @@ pub fn householder_qr_r(a: &mut [f64], r: usize, c: usize) -> Vec<f64> {
 /// false`) blocks are discarded after use and only O(s²) state persists;
 /// with `store = true` the blocks are also written back to slow memory
 /// (the non-WA baseline, counted in `io`).
-pub fn tsqr_r(
+pub fn tsqr_r<S: IoSink>(
     nblocks: usize,
     rows_per_block: usize,
     s: usize,
     mut gen: impl FnMut(usize) -> Vec<f64>,
     store: bool,
-    io: &mut IoTally,
+    io: &mut S,
 ) -> Vec<f64> {
     assert!(nblocks >= 1 && s >= 1);
+    // Nominal layout: row block b owns the span starting at b·rpb·s; the
+    // O(s²) R factor lives after the last block (line-aligned).
+    let bwords = rows_per_block * s;
+    let v_r = (nblocks * bwords).div_ceil(LINE_WORDS) * LINE_WORDS;
     let mut r_acc: Option<Vec<f64>> = None;
     for b in 0..nblocks {
         let block = gen(b);
-        assert_eq!(block.len(), rows_per_block * s);
-        io.read(rows_per_block * s); // the generator's rows stream in
+        assert_eq!(block.len(), bwords);
+        io.read_at(b * bwords, bwords); // the generator's rows stream in
         if store {
-            io.write(rows_per_block * s); // non-streaming: basis stored
+            io.write_at(b * bwords, bwords); // non-streaming: basis stored
         }
         let r_new = match r_acc.take() {
             None => {
@@ -110,13 +115,14 @@ pub fn tsqr_r(
         r_acc = Some(r_new);
     }
     let r = r_acc.expect("at least one block");
-    io.write(s * s); // only the O(s²) R factor leaves fast memory
+    io.write_at(v_r, s * s); // only the O(s²) R factor leaves fast memory
     r
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counter::IoTally;
     use wa_core::{Mat, XorShift};
 
     fn rtr(r: &[f64], s: usize) -> Mat {

@@ -1,19 +1,32 @@
 //! Engine registrations for the Krylov solvers (Section 8).
 //!
-//! CG and CA-CG count their slow-memory traffic through [`IoTally`] — an
-//! explicit (hand-counted) model at vector granularity, so they register
-//! the `explicit` backend: the tally is a [`wa_core::Traffic`] on a single
-//! L1/L2-style boundary (the paper's `W12`), with one message per
-//! vector/matrix stream. `raw` runs the same solve and reports wall time
-//! only.
+//! CG and CA-CG charge their slow-memory traffic through the [`IoSink`]
+//! surface, which gives them two traffic-counting backends:
+//!
+//! * `explicit` — the hand-counted [`IoTally`] at vector granularity (the
+//!   paper's `W12`): a [`wa_core::Traffic`] on a single fast↔slow
+//!   boundary, one message per vector/matrix stream;
+//! * `simmed` — the *same* run stream replayed through a stack of
+//!   fully-associative true-LRU cache levels ([`SimIo`]); the fastest
+//!   level is the scale's `M₁`, so the tally and the simulator's first
+//!   boundary count the same writes (the cross-model check in
+//!   `crates/bench/tests/backend_matrix.rs` asserts exact agreement).
+//!   Depths 2 and 3 stack larger levels below `M₁` without changing the
+//!   `M₁` boundary.
+//!
+//! `raw` runs the same solve and reports wall time only. The streaming
+//! TSQR building block (§8's Arnoldi remark) registers the same way.
 
 use crate::cacg::{ca_cg, CaCgOptions};
-use crate::cg::cg;
-use crate::counter::IoTally;
+use crate::cg::{cg, SolveResult};
+use crate::counter::{IoTally, SimIo};
 use crate::stencil::laplacian_2d;
-use wa_core::engine::{BackendKind, EngineError, FnWorkload, Scale, Workload};
+use crate::tsqr::tsqr_r;
+use memsim::xeon::XeonGeometry;
+use memsim::{memsim_report, MemSim, Policy};
+use wa_core::engine::{BackendKind, EngineError, FnWorkload, RunCfg, Scale, Workload};
 use wa_core::report::{timed, RunReport};
-use wa_core::BoundaryTraffic;
+use wa_core::{BoundaryTraffic, XorShift};
 
 fn grid(scale: Scale) -> usize {
     match scale {
@@ -22,10 +35,27 @@ fn grid(scale: Scale) -> usize {
     }
 }
 
+/// Fast-memory capacity `M₁` (words) of the Krylov models at `scale` —
+/// the scale's L1, far below the vector length `n = grid²` (the §8
+/// regime `n ≫ M₁`).
+fn m1_words(scale: Scale) -> usize {
+    XeonGeometry::for_scale(scale, Policy::Lru).l1_words
+}
+
+/// The `simmed` hierarchy: `depth` fully-associative true-LRU levels with
+/// `M₁` on top. Deeper levels grow 8×/32× but stay below the problem
+/// footprint, so every level still streams.
+fn sim_hier(scale: Scale, depth: usize) -> MemSim {
+    let m1 = m1_words(scale);
+    let mults = [1usize, 8, 32];
+    let caps: Vec<usize> = mults[..depth].iter().map(|&f| m1 * f).collect();
+    MemSim::stacked_lru(&caps)
+}
+
 /// Project an [`IoTally`] onto a one-boundary report. The tally *is* a
-/// [`wa_core::Traffic`] (words moved between the processor's working set and slow
-/// memory, one message per vector/matrix stream), so the projection is a
-/// straight copy.
+/// [`wa_core::Traffic`] (words moved between the processor's working set
+/// and slow memory, one message per vector/matrix stream), so the
+/// projection is a straight copy.
 fn tally_report(name: &str, scale: Scale, io: &IoTally, iters: usize, residual: f64) -> RunReport {
     let mut bt = BoundaryTraffic::new(2);
     *bt.boundary_mut(0) = io.traffic;
@@ -38,45 +68,156 @@ fn tally_report(name: &str, scale: Scale, io: &IoTally, iters: usize, residual: 
     r
 }
 
+/// Project a solver run through [`SimIo`] onto a report: flush, then let
+/// the standard simulator adapter derive the boundary traffic.
+fn sim_report(name: &str, scale: Scale, mut io: SimIo, iters: usize, residual: f64) -> RunReport {
+    io.sim.flush();
+    let mut r = memsim_report(
+        &io.sim,
+        RunReport::new(name, BackendKind::Simmed, scale)
+            .config("iters", iters)
+            .config("residual", format!("{residual:.3e}")),
+    )
+    .note("boundary 0 (fast side M1) is the tally's W12 boundary")
+    .note("flushed: end-of-run dirty lines charged downward");
+    r.flops = io.flops;
+    r
+}
+
+fn check_converged(name: &str, res: &SolveResult) -> Result<(), EngineError> {
+    if res.residual > 1e-6 {
+        return Err(EngineError::Failed {
+            workload: name.to_string(),
+            message: format!("solver stagnated: residual {:.3e}", res.residual),
+        });
+    }
+    Ok(())
+}
+
 fn solver_workload(
     name: &'static str,
     description: &'static str,
     opts: Option<CaCgOptions>, // None = plain CG
 ) -> Box<dyn Workload> {
-    let backends = [BackendKind::Raw, BackendKind::Explicit];
-    FnWorkload::boxed(
+    let backends = [BackendKind::Raw, BackendKind::Explicit, BackendKind::Simmed];
+    let depths = [(BackendKind::Simmed, 3)];
+    FnWorkload::boxed_deep(
         name,
         "krylov",
         description,
         &backends,
-        move |backend, scale| {
+        &depths,
+        move |RunCfg {
+                  backend,
+                  scale,
+                  depth,
+              }| {
             let g = grid(scale);
             let a = laplacian_2d(g, g, 0.1);
             let b = vec![1.0; a.rows];
             let x0 = vec![0.0; a.rows];
-            let mut io = IoTally::default();
-            let (res, ns) = timed(|| match &opts {
-                None => cg(&a, &b, &x0, 1e-10, 4 * g * g, &mut io),
-                Some(o) => ca_cg(&a, &b, &x0, o, &mut io),
-            });
-            if res.residual > 1e-6 {
-                return Err(EngineError::Failed {
+            match backend {
+                BackendKind::Raw | BackendKind::Explicit => {
+                    let mut io = IoTally::default();
+                    let (res, ns) = timed(|| match &opts {
+                        None => cg(&a, &b, &x0, 1e-10, 4 * g * g, &mut io),
+                        Some(o) => ca_cg(&a, &b, &x0, o, &mut io),
+                    });
+                    check_converged(name, &res)?;
+                    let mut r = if backend == BackendKind::Explicit {
+                        tally_report(name, scale, &io, res.iters, res.residual)
+                    } else {
+                        RunReport::new(name, backend, scale)
+                            .config("iters", res.iters)
+                            .config("residual", format!("{:.3e}", res.residual))
+                    };
+                    r = r.config("grid", format!("{g}x{g}"));
+                    r.wall_ns = ns;
+                    Ok(r)
+                }
+                BackendKind::Simmed => {
+                    let mut io = SimIo::new(sim_hier(scale, depth));
+                    let (res, ns) = timed(|| match &opts {
+                        None => cg(&a, &b, &x0, 1e-10, 4 * g * g, &mut io),
+                        Some(o) => ca_cg(&a, &b, &x0, o, &mut io),
+                    });
+                    check_converged(name, &res)?;
+                    let mut r = sim_report(name, scale, io, res.iters, res.residual)
+                        .config("grid", format!("{g}x{g}"))
+                        .config("depth", depth);
+                    r.wall_ns = ns;
+                    Ok(r)
+                }
+                other => Err(EngineError::UnsupportedBackend {
                     workload: name.to_string(),
-                    message: format!("solver stagnated: residual {:.3e}", res.residual),
-                });
+                    backend: other,
+                    supported: backends.to_vec(),
+                }),
             }
+        },
+    )
+}
+
+/// Streaming / storing tall-skinny QR (the §8 Arnoldi building block):
+/// `nblocks` row blocks of 64×8, blocks regenerated on demand.
+fn tsqr_workload(name: &'static str, description: &'static str, store: bool) -> Box<dyn Workload> {
+    let backends = [BackendKind::Raw, BackendKind::Explicit, BackendKind::Simmed];
+    let depths = [(BackendKind::Simmed, 3)];
+    FnWorkload::boxed_deep(
+        name,
+        "krylov",
+        description,
+        &backends,
+        &depths,
+        move |RunCfg {
+                  backend,
+                  scale,
+                  depth,
+              }| {
+            let s = 8usize;
+            let rpb = 64usize;
+            let nblocks = match scale {
+                Scale::Small => 16,
+                Scale::Paper => 64,
+            };
+            // Deterministic, recomputable row blocks (the streaming
+            // premise: the generator can replay any block).
+            let gen = |b: usize| {
+                let mut rng = XorShift::new(97 + b as u64);
+                (0..rpb * s).map(|_| rng.next_unit() - 0.5).collect()
+            };
+            let base = |backend| {
+                RunReport::new(name, backend, scale)
+                    .config("n", nblocks * rpb)
+                    .config("s", s)
+                    .config("store", store)
+            };
             match backend {
                 BackendKind::Raw => {
-                    let mut r = RunReport::new(name, backend, scale)
-                        .config("grid", format!("{g}x{g}"))
-                        .config("iters", res.iters)
-                        .config("residual", format!("{:.3e}", res.residual));
+                    let mut io = IoTally::default();
+                    let (_, ns) = timed(|| tsqr_r(nblocks, rpb, s, gen, store, &mut io));
+                    let mut r = base(backend);
                     r.wall_ns = ns;
                     Ok(r)
                 }
                 BackendKind::Explicit => {
-                    let mut r = tally_report(name, scale, &io, res.iters, res.residual)
-                        .config("grid", format!("{g}x{g}"));
+                    let mut io = IoTally::default();
+                    let (_, ns) = timed(|| tsqr_r(nblocks, rpb, s, gen, store, &mut io));
+                    let mut bt = BoundaryTraffic::new(2);
+                    *bt.boundary_mut(0) = io.traffic;
+                    let mut r = base(backend).with_boundaries(&bt, &[]);
+                    r.flops = io.flops;
+                    r.wall_ns = ns;
+                    Ok(r)
+                }
+                BackendKind::Simmed => {
+                    let mut io = SimIo::new(sim_hier(scale, depth));
+                    let (_, ns) = timed(|| tsqr_r(nblocks, rpb, s, gen, store, &mut io));
+                    io.sim.flush();
+                    let mut r = memsim_report(&io.sim, base(backend))
+                        .config("depth", depth)
+                        .note("boundary 0 (fast side M1) is the tally's boundary");
+                    r.flops = io.flops;
                     r.wall_ns = ns;
                     Ok(r)
                 }
@@ -113,6 +254,16 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
                 ..CaCgOptions::default()
             }),
         ),
+        tsqr_workload(
+            "tsqr-stream",
+            "streaming TSQR: row blocks regenerated, only the s*s R factor is written (8)",
+            false,
+        ),
+        tsqr_workload(
+            "tsqr-store",
+            "storing TSQR: row blocks written back, Theta(n*s) writes",
+            true,
+        ),
     ]
 }
 
@@ -126,6 +277,25 @@ mod tests {
             for &b in w.backends() {
                 w.run(b, Scale::Small)
                     .unwrap_or_else(|e| panic!("{} on {b}: {e}", w.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn simmed_m1_boundary_writes_equal_the_tally_at_every_depth() {
+        for w in workloads() {
+            let exp = w.run(BackendKind::Explicit, Scale::Small).unwrap();
+            for depth in 1..=w.max_depth(BackendKind::Simmed) {
+                let sim = w
+                    .run_cfg(RunCfg::with_depth(BackendKind::Simmed, Scale::Small, depth))
+                    .unwrap();
+                assert_eq!(sim.boundaries.len(), depth, "{}", w.name());
+                assert_eq!(
+                    exp.boundaries[0].store_words,
+                    sim.boundaries[0].store_words,
+                    "{} depth {depth}: tally vs simulated M1-boundary writes",
+                    w.name()
+                );
             }
         }
     }

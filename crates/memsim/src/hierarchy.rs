@@ -89,12 +89,26 @@ impl MemSim {
     /// `simmed` backend defaults to. Centralized here so the workload
     /// crates cannot drift apart on line size or policy.
     pub fn single_level_lru(words: usize) -> Self {
-        MemSim::two_level(CacheConfig {
-            capacity_words: words,
-            line_words: 8,
-            ways: 0,
-            policy: crate::policy::Policy::Lru,
-        })
+        MemSim::stacked_lru(&[words])
+    }
+
+    /// Convenience: a stack of fully-associative true-LRU levels
+    /// ([`crate::LINE_WORDS`]-word lines) with the given capacities,
+    /// fastest first — the multi-level hierarchies the depth-aware
+    /// `simmed` backends build. Centralized like
+    /// [`MemSim::single_level_lru`] so the workload crates share one
+    /// line size and policy.
+    pub fn stacked_lru(caps_words: &[usize]) -> Self {
+        let cfgs: Vec<CacheConfig> = caps_words
+            .iter()
+            .map(|&w| CacheConfig {
+                capacity_words: w,
+                line_words: crate::xeon::LINE_WORDS,
+                ways: 0,
+                policy: crate::policy::Policy::Lru,
+            })
+            .collect();
+        MemSim::new(&cfgs)
     }
 
     pub fn num_levels(&self) -> usize {
@@ -491,6 +505,25 @@ mod tests {
             }
         }
         assert_eq!(a.llc(), b.llc());
+    }
+
+    #[test]
+    fn empty_run_batches_and_zero_length_ranges_touch_nothing() {
+        let mut m = MemSim::two_level(cfg(64, 0));
+        m.run(&[]);
+        m.read_range(40, 0);
+        m.write_range(0, 0);
+        m.run(&[AccessRun::read(0, 0), AccessRun::write(8, 0)]);
+        assert_eq!(m.llc().hits + m.llc().misses, 0, "no accesses recorded");
+        assert_eq!(m.dram_reads_lines, 0);
+        assert_eq!(m.dram_writes_lines, 0);
+        assert_eq!(m.flush(), 0, "nothing resident, nothing dirty");
+        // The reference (fast-path-disabled) walk agrees.
+        let mut r = MemSim::two_level(cfg(64, 0));
+        r.disable_fast_path();
+        r.run(&[]);
+        r.write_range(5, 0);
+        assert_eq!(r.llc(), m.llc());
     }
 
     #[test]

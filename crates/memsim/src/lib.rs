@@ -40,3 +40,4 @@ pub use hierarchy::{AccessRun, MemSim};
 pub use mem::{Mem, RawMem, SimMem, TraceMem};
 pub use policy::Policy;
 pub use report::{explicit_report, memsim_report};
+pub use xeon::LINE_WORDS;

@@ -59,7 +59,7 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
             "nbody",
             "Algorithm 4 blocked (N,2)-body: N + N^2/b loads, N stores (the output)",
             &[BackendKind::Raw, BackendKind::Simmed, BackendKind::Explicit],
-            |backend, scale| match backend {
+            |wa_core::engine::RunCfg { backend, scale, .. }| match backend {
                 BackendKind::Explicit => Ok(explicit_run("nbody-wa", scale, |p, h| {
                     explicit_nbody_wa(p, h)
                 })),
@@ -114,7 +114,7 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
             "nbody",
             "symmetric (Newton 3rd law) N-body: half the flops, Theta(N^2/b) stores (4.4)",
             &[BackendKind::Explicit],
-            |_, scale| {
+            |wa_core::engine::RunCfg { scale, .. }| {
                 Ok(explicit_run("nbody-symmetric", scale, |p, h| {
                     explicit_nbody_symmetric(p, h)
                 }))
@@ -125,7 +125,7 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
             "nbody",
             "(N,3)-body with b = M/4 blocks: WA generalization of Algorithm 4",
             &[BackendKind::Explicit],
-            |_, scale| {
+            |wa_core::engine::RunCfg { scale, .. }| {
                 // The (N,3)-body sweep is O(N^3/b); shrink N to keep the
                 // run interactive.
                 let (m, _) = particles_geometry(scale);

@@ -108,7 +108,7 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
             "parallel",
             "classic SUMMA with L2 staging: 2n^2/sqrt(P) network words, no NVM traffic (7.1)",
             &backends,
-            move |backend, scale| {
+            move |wa_core::engine::RunCfg { backend, scale, .. }| {
                 let n = dim(scale);
                 let q = 4;
                 let a = Mat::random(n, n, 101);
@@ -131,7 +131,7 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
             "parallel",
             "SUMMAL3ooL2 (Model 2.2): tiles computed entirely in L2, attains W1 = n^2/P NVM writes",
             &backends,
-            move |backend, scale| {
+            move |wa_core::engine::RunCfg { backend, scale, .. }| {
                 let n = dim(scale);
                 let (q, m2) = (4usize, 48u64);
                 let a = Mat::random(n, n, 108);
@@ -158,7 +158,7 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
             "parallel",
             "Cannon's algorithm with L2 staging: same W1, lower network volume",
             &backends,
-            move |backend, scale| {
+            move |wa_core::engine::RunCfg { backend, scale, .. }| {
                 let n = dim(scale);
                 let q = 4;
                 let a = Mat::random(n, n, 103);
@@ -181,7 +181,7 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
             "parallel",
             "2.5D matmul (c=2 replication): trades memory for W2 = n^2/sqrt(Pc) network words",
             &backends,
-            move |backend, scale| {
+            move |wa_core::engine::RunCfg { backend, scale, .. }| {
                 let n = dim(scale);
                 let (p, c) = (18usize, 2usize);
                 let a = Mat::random(n, n, 105);
@@ -211,7 +211,7 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
             "parallel",
             "LL-LUNP: left-looking parallel LU, the WA order of 7.2",
             &backends,
-            move |backend, scale| {
+            move |wa_core::engine::RunCfg { backend, scale, .. }| {
                 let n = dim(scale);
                 let mut a = Mat::random(n, n, 107);
                 for i in 0..n {

@@ -97,6 +97,41 @@ impl fmt::Display for Scale {
     }
 }
 
+/// One execution scenario: backend, scale, and — for the traffic-counting
+/// backends — the modeled hierarchy depth.
+///
+/// `depth` is the number of explicit/simulated cache levels between the
+/// processor and the backing store: 1 is the classical two-level model of
+/// the paper's Section 2 (one boundary), 3 is the full Xeon-style
+/// L1/L2/L3/DRAM hierarchy (three boundaries). Backends that do not model
+/// a hierarchy (`raw`, `traced`) ignore it; workloads advertise what they
+/// can model through [`Workload::max_depth`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RunCfg {
+    pub backend: BackendKind,
+    pub scale: Scale,
+    pub depth: usize,
+}
+
+impl RunCfg {
+    /// The default scenario: depth 1 (the two-level model).
+    pub fn new(backend: BackendKind, scale: Scale) -> Self {
+        RunCfg {
+            backend,
+            scale,
+            depth: 1,
+        }
+    }
+
+    pub fn with_depth(backend: BackendKind, scale: Scale, depth: usize) -> Self {
+        RunCfg {
+            backend,
+            scale,
+            depth,
+        }
+    }
+}
+
 /// Why a run could not produce a report.
 #[derive(Clone, Debug)]
 pub enum EngineError {
@@ -107,6 +142,12 @@ pub enum EngineError {
         workload: String,
         backend: BackendKind,
         supported: Vec<BackendKind>,
+    },
+    UnsupportedDepth {
+        workload: String,
+        backend: BackendKind,
+        depth: usize,
+        max: usize,
     },
     Failed {
         workload: String,
@@ -132,6 +173,18 @@ impl fmt::Display for EngineError {
                     names.join(", ")
                 )
             }
+            EngineError::UnsupportedDepth {
+                workload,
+                backend,
+                depth,
+                max,
+            } => {
+                write!(
+                    f,
+                    "workload `{workload}` on `{backend}` models hierarchy depths 1..={max}, \
+                     not {depth}"
+                )
+            }
             EngineError::Failed { workload, message } => {
                 write!(f, "workload `{workload}` failed: {message}")
             }
@@ -151,8 +204,19 @@ pub trait Workload: Send + Sync {
     fn description(&self) -> &str;
     /// Backends this workload can execute on.
     fn backends(&self) -> &[BackendKind];
-    /// Execute on `backend` at `scale`.
-    fn run(&self, backend: BackendKind, scale: Scale) -> Result<RunReport, EngineError>;
+    /// Deepest hierarchy this workload can model on `backend` (number of
+    /// cache levels between the processor and the backing store). Most
+    /// workloads model the classical two-level setting only (depth 1).
+    fn max_depth(&self, _backend: BackendKind) -> usize {
+        1
+    }
+    /// Execute the scenario described by `cfg`.
+    fn run_cfg(&self, cfg: RunCfg) -> Result<RunReport, EngineError>;
+
+    /// Execute on `backend` at `scale` in the two-level model (depth 1).
+    fn run(&self, backend: BackendKind, scale: Scale) -> Result<RunReport, EngineError> {
+        self.run_cfg(RunCfg::new(backend, scale))
+    }
 
     fn supports(&self, backend: BackendKind) -> bool {
         self.backends().contains(&backend)
@@ -166,8 +230,10 @@ pub struct FnWorkload {
     pub group: &'static str,
     pub description: &'static str,
     pub backends: Vec<BackendKind>,
+    /// `(backend, max depth)` overrides; backends not listed model depth 1.
+    pub depths: Vec<(BackendKind, usize)>,
     #[allow(clippy::type_complexity)]
-    pub run: Box<dyn Fn(BackendKind, Scale) -> Result<RunReport, EngineError> + Send + Sync>,
+    pub run: Box<dyn Fn(RunCfg) -> Result<RunReport, EngineError> + Send + Sync>,
 }
 
 impl FnWorkload {
@@ -176,13 +242,27 @@ impl FnWorkload {
         group: &'static str,
         description: &'static str,
         backends: &[BackendKind],
-        run: impl Fn(BackendKind, Scale) -> Result<RunReport, EngineError> + Send + Sync + 'static,
+        run: impl Fn(RunCfg) -> Result<RunReport, EngineError> + Send + Sync + 'static,
+    ) -> Box<dyn Workload> {
+        FnWorkload::boxed_deep(name, group, description, backends, &[], run)
+    }
+
+    /// Like [`FnWorkload::boxed`] but with per-backend depth overrides for
+    /// workloads that model hierarchies deeper than the two-level default.
+    pub fn boxed_deep(
+        name: &'static str,
+        group: &'static str,
+        description: &'static str,
+        backends: &[BackendKind],
+        depths: &[(BackendKind, usize)],
+        run: impl Fn(RunCfg) -> Result<RunReport, EngineError> + Send + Sync + 'static,
     ) -> Box<dyn Workload> {
         Box::new(FnWorkload {
             name,
             group,
             description,
             backends: backends.to_vec(),
+            depths: depths.to_vec(),
             run: Box::new(run),
         })
     }
@@ -205,15 +285,32 @@ impl Workload for FnWorkload {
         &self.backends
     }
 
-    fn run(&self, backend: BackendKind, scale: Scale) -> Result<RunReport, EngineError> {
-        if !self.supports(backend) {
+    fn max_depth(&self, backend: BackendKind) -> usize {
+        self.depths
+            .iter()
+            .find(|(b, _)| *b == backend)
+            .map(|(_, d)| *d)
+            .unwrap_or(1)
+    }
+
+    fn run_cfg(&self, cfg: RunCfg) -> Result<RunReport, EngineError> {
+        if !self.supports(cfg.backend) {
             return Err(EngineError::UnsupportedBackend {
                 workload: self.name.to_string(),
-                backend,
+                backend: cfg.backend,
                 supported: self.backends.clone(),
             });
         }
-        (self.run)(backend, scale)
+        let max = self.max_depth(cfg.backend);
+        if cfg.depth < 1 || cfg.depth > max {
+            return Err(EngineError::UnsupportedDepth {
+                workload: self.name.to_string(),
+                backend: cfg.backend,
+                depth: cfg.depth,
+                max,
+            });
+        }
+        (self.run)(cfg)
     }
 }
 
@@ -266,17 +363,22 @@ impl Registry {
         self.order.iter().map(|n| self.by_name[n].as_ref())
     }
 
-    /// Run `name` on `backend` at `scale`.
+    /// Run `name` on `backend` at `scale` in the two-level model.
     pub fn run(
         &self,
         name: &str,
         backend: BackendKind,
         scale: Scale,
     ) -> Result<RunReport, EngineError> {
+        self.run_cfg(name, RunCfg::new(backend, scale))
+    }
+
+    /// Run `name` under the full scenario `cfg` (backend, scale, depth).
+    pub fn run_cfg(&self, name: &str, cfg: RunCfg) -> Result<RunReport, EngineError> {
         let w = self.get(name).ok_or_else(|| EngineError::UnknownWorkload {
             name: name.to_string(),
         })?;
-        w.run(backend, scale)
+        w.run_cfg(cfg)
     }
 }
 
@@ -290,7 +392,7 @@ mod tests {
             "test",
             "a test workload",
             &[BackendKind::Raw],
-            move |b, s| Ok(RunReport::new(name, b, s)),
+            move |cfg| Ok(RunReport::new(name, cfg.backend, cfg.scale)),
         )
     }
 
@@ -333,6 +435,40 @@ mod tests {
         let mut r = Registry::new();
         r.register(dummy("w"));
         r.register(dummy("w"));
+    }
+
+    #[test]
+    fn depth_defaults_to_one_and_overrides_apply() {
+        let w = FnWorkload::boxed_deep(
+            "deep",
+            "test",
+            "a depth-aware workload",
+            &[BackendKind::Raw, BackendKind::Simmed],
+            &[(BackendKind::Simmed, 3)],
+            |cfg| Ok(RunReport::new("deep", cfg.backend, cfg.scale).config("depth", cfg.depth)),
+        );
+        assert_eq!(w.max_depth(BackendKind::Raw), 1);
+        assert_eq!(w.max_depth(BackendKind::Simmed), 3);
+        // In-range depth runs; the report sees the requested depth.
+        let r = w
+            .run_cfg(RunCfg::with_depth(BackendKind::Simmed, Scale::Small, 3))
+            .unwrap();
+        assert!(r.config.iter().any(|(k, v)| k == "depth" && v == "3"));
+        // Out-of-range depth is a structured error naming the maximum.
+        let err = w
+            .run_cfg(RunCfg::with_depth(BackendKind::Raw, Scale::Small, 2))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::UnsupportedDepth {
+                depth: 2,
+                max: 1,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("depths 1..=1"), "{err}");
+        // run() is the depth-1 scenario.
+        assert!(w.run(BackendKind::Simmed, Scale::Small).is_ok());
     }
 
     #[test]

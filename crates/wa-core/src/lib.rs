@@ -37,7 +37,7 @@ pub mod rng;
 pub mod traffic;
 
 pub use cost::CostParams;
-pub use engine::{BackendKind, EngineError, FnWorkload, Registry, Scale, Workload};
+pub use engine::{BackendKind, EngineError, FnWorkload, Registry, RunCfg, Scale, Workload};
 pub use matrix::Mat;
 pub use report::RunReport;
 pub use rng::XorShift;

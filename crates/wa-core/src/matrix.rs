@@ -72,6 +72,16 @@ impl Mat {
         a
     }
 
+    /// Random (non-symmetric) strictly diagonally dominant matrix —
+    /// well-conditioned and safe for the pivot-free LU factorizations.
+    pub fn random_diagdom(n: usize, seed: u64) -> Self {
+        let mut a = Mat::random(n, n, seed);
+        for i in 0..n {
+            a[(i, i)] = a[(i, i)].abs() + n as f64;
+        }
+        a
+    }
+
     pub fn rows(&self) -> usize {
         self.rows
     }

@@ -45,6 +45,18 @@ pub struct RunReport {
     /// Traffic per hierarchy boundary (index 0 = fastest boundary, e.g.
     /// L1↔L2; the last entry is the boundary to the backing store).
     /// Empty for backends that do not model a hierarchy (e.g. `raw`).
+    ///
+    /// **Unit note for the message counters.** `load_msgs`/`store_msgs`
+    /// count *block transfers*, one per contiguous run, not words. For
+    /// the cache simulator a block is a line (msgs = lines moved); for
+    /// the explicit kernels it is one `load`/`store` call; for the
+    /// tally-based crates (`krylov`, `extsort`) it is one vector/matrix
+    /// *stream* — e.g. one CG iteration is 12 load messages and 4 store
+    /// messages however long the vectors are. Before the batched-run API
+    /// (PR 4) those crates reported the word-granular fiction
+    /// `msgs == words`; reports from the two eras are not comparable on
+    /// the `msgs` columns. A hand-computed CG iteration pinning today's
+    /// meaning lives in `krylov::cg::tests`.
     pub boundaries: Vec<Traffic>,
     /// Words written *into* level `i+1` (1-indexed levels; the last entry
     /// is the backing store). Derived from boundary traffic plus any

@@ -283,6 +283,39 @@ mod tests {
     }
 
     #[test]
+    fn run_with_empty_slice_is_a_no_op() {
+        let mut t = Traffic::ZERO;
+        t.run(&[]);
+        assert_eq!(t, Traffic::ZERO);
+        // And on a non-zero tally it changes nothing.
+        t.load(5);
+        let before = t;
+        t.run(&[]);
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn zero_length_runs_move_no_words_and_no_messages() {
+        let mut t = Traffic::ZERO;
+        t.run(&[AccessRun::read(0, 0), AccessRun::write(1024, 0)]);
+        assert_eq!(t, Traffic::ZERO);
+        t.load_run(0);
+        t.store_run(0);
+        assert_eq!(t, Traffic::ZERO, "empty runs are not transfers");
+        // A batch mixing empty and real runs charges only the real ones.
+        t.run(&[
+            AccessRun::read(0, 0),
+            AccessRun::read(8, 8),
+            AccessRun::write(16, 0),
+            AccessRun::write(24, 4),
+        ]);
+        assert_eq!(t.load_words, 8);
+        assert_eq!(t.load_msgs, 1);
+        assert_eq!(t.store_words, 4);
+        assert_eq!(t.store_msgs, 1);
+    }
+
+    #[test]
     fn theorem1_invariant_holds_by_construction() {
         // Theorem 1: writes to fast >= (loads+stores)/2 holds whenever each
         // residency writes fast at least once; in the pure load/store
