@@ -28,10 +28,14 @@
 //! schema regardless of backend, so explicit-vs-simulated comparisons are
 //! a diff of two JSON documents.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 use wa_bench::registry::registry;
 use wa_bench::scale::Repl;
+use wa_bench::sweep::{completed_cells, CellOutcome, Journal};
 use wa_bench::{bounds_exp, fig2, fig5, ksm, lu_par, props, sorting, tables, theorem4, waopt};
-use wa_core::engine::{BackendKind, EngineError, RunCfg, Workload};
+use wa_core::engine::{BackendKind, EngineError, RunCfg, RunLimits, Workload};
+use wa_core::fault::FaultPlan;
 use wa_core::par::{default_threads, par_map};
 use wa_core::report::{median_wall_ns, RunReport};
 use wa_core::{CostParams, Registry, Scale};
@@ -46,8 +50,8 @@ fn main() {
             has_flag(rest, "--json"),
             has_flag(rest, "--markdown"),
         ),
-        "run" => run(&registry(), rest),
-        "sweep" => sweep(&registry(), rest),
+        "run" => run(&faulted_registry(rest), rest),
+        "sweep" => sweep(&faulted_registry(rest), rest),
         "exp" => exp(rest),
         "help" | "--help" | "-h" => usage(0),
         other => {
@@ -59,9 +63,48 @@ fn main() {
 
 fn usage(code: i32) -> ! {
     eprintln!(
-        "usage:\n  harness list [--json|--markdown]\n  harness run <workload> [--backend B] [--scale S] [--depth D] [--repeat N] [--json]\n  harness sweep [--group G] [--backend B] [--scale S] [--depth D] [--threads N] [--repeat N] [--json|--csv]\n  harness exp <command> [--scale small|paper] [--policy P]   (exp all = every paper artifact)\n\n  --depth D   hierarchy depth (cache levels) for traffic-counting backends; default 1\n  --repeat N  run each scenario N times; the report carries the median wall time\n  --csv       sweep only: one CSV row per scenario (schema: RunReport::CSV_HEADER)\n  --markdown  list only: the README workload×backend support table"
+        "usage:\n  harness list [--json|--markdown]\n  harness run <workload> [--backend B] [--scale S] [--depth D] [--repeat N] [--timeout SECS] [--retries N] [--json]\n  harness sweep [--group G] [--backend B] [--scale S] [--depth D] [--threads N] [--repeat N]\n                [--timeout SECS] [--retries N] [--fail-fast] [--journal PATH] [--resume] [--json|--csv]\n  harness exp <command> [--scale small|paper] [--policy P]   (exp all = every paper artifact)\n\n  --depth D        hierarchy depth (cache levels) for traffic-counting backends; default 1\n  --repeat N       run each scenario N times; the report carries the median wall time\n  --timeout SECS   per-cell wall-clock deadline (float seconds); overruns become `timed-out`\n  --retries N      re-attempt panicked/timed-out/retriable cells N times (deterministic backoff)\n  --fail-fast      sweep only: stop scheduling new cells after the first failure\n  --journal PATH   sweep only: per-cell JSONL journal (default sweep.journal.jsonl)\n  --resume         sweep only: skip cells the journal already records as ok; append new outcomes\n  --fault-plan S   deterministic fault injection, e.g. `matmul-wa:panic@1,lu-wa:stall=2000`\n                   (also via env WA_FAULT_PLAN); kinds: panic | corrupt | stall=MS\n  --csv            sweep only: one CSV row per scenario (RunReport::CSV_HEADER + status)\n  --markdown       list only: the README workload×backend support table\n\nexit codes: 0 = all cells ok, 1 = at least one cell failed, 2 = usage/config error"
     );
     std::process::exit(code);
+}
+
+/// The workspace registry, with the `--fault-plan` / `WA_FAULT_PLAN`
+/// injection plan installed when one is given. A malformed spec is a
+/// usage error: silently ignoring a typo'd plan would fake coverage.
+fn faulted_registry(args: &[String]) -> Registry {
+    let spec = flag_value(args, "--fault-plan")
+        .map(str::to_string)
+        .or_else(|| std::env::var("WA_FAULT_PLAN").ok());
+    let mut reg = registry();
+    if let Some(spec) = spec {
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => reg.set_fault_plan(Some(plan)),
+            Err(e) => {
+                eprintln!("bad fault plan: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    reg
+}
+
+/// Parse `--timeout SECS` (float) and `--retries N` into [`RunLimits`].
+fn parse_limits(args: &[String]) -> RunLimits {
+    let timeout = flag_value(args, "--timeout").map(|s| match s.parse::<f64>() {
+        Ok(secs) if secs > 0.0 && secs.is_finite() => Duration::from_secs_f64(secs),
+        _ => {
+            eprintln!("bad --timeout `{s}` (expected seconds > 0)");
+            std::process::exit(2);
+        }
+    });
+    let retries = match flag_value(args, "--retries") {
+        None => 0,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --retries `{s}` (expected a non-negative integer)");
+            std::process::exit(2);
+        }),
+    };
+    RunLimits::new(timeout, retries)
 }
 
 /// Parse `--repeat N` (default 1).
@@ -78,23 +121,40 @@ fn parse_repeat(args: &[String]) -> usize {
     }
 }
 
-/// Run one scenario `repeat` times; the returned report is the last run's
-/// with the *median* wall time over all runs (echoed in config when
-/// repeated), so sweep timings are stable against scheduler noise.
-fn run_repeated(w: &dyn Workload, cfg: RunCfg, repeat: usize) -> Result<RunReport, EngineError> {
+/// Run one scenario `repeat` times through the registry's fault-isolated
+/// dispatch; the returned report is the last run's with the *median* wall
+/// time over all runs (echoed in config when repeated), so sweep timings
+/// are stable against scheduler noise. Also returns the total dispatch
+/// attempts consumed (retries included).
+fn run_repeated(
+    reg: &Registry,
+    name: &str,
+    cfg: RunCfg,
+    repeat: usize,
+) -> (Result<RunReport, EngineError>, u32) {
     let mut walls = Vec::with_capacity(repeat);
     let mut last = None;
+    let mut total_attempts = 0u32;
     for _ in 0..repeat {
-        let r = w.run_cfg(cfg)?;
-        walls.push(r.wall_ns);
-        last = Some(r);
+        let (res, attempts) = reg.run_cfg_traced(name, cfg);
+        total_attempts += attempts;
+        match res {
+            Ok(r) => {
+                walls.push(r.wall_ns);
+                last = Some(r);
+            }
+            Err(e) => return (Err(e), total_attempts),
+        }
     }
     let mut r = last.expect("repeat >= 1");
     r.wall_ns = median_wall_ns(&walls);
     if repeat > 1 {
         r = r.config("repeat", repeat);
     }
-    Ok(r)
+    if total_attempts > repeat as u32 {
+        r = r.config("attempts", total_attempts);
+    }
+    (Ok(r), total_attempts)
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -216,11 +276,8 @@ fn run(reg: &Registry, args: &[String]) {
     let backend = parse_backend(args).unwrap_or_else(|| w.backends()[0]);
     let scale = parse_scale(args);
     let depth = parse_depth(args);
-    match run_repeated(
-        w,
-        RunCfg::with_depth(backend, scale, depth),
-        parse_repeat(args),
-    ) {
+    let cfg = RunCfg::with_depth(backend, scale, depth).with_limits(parse_limits(args));
+    match run_repeated(reg, name, cfg, parse_repeat(args)).0 {
         Ok(report) => {
             if has_flag(args, "--json") {
                 println!("{}", report.to_json());
@@ -246,11 +303,18 @@ fn parse_depth(args: &[String]) -> usize {
     }
 }
 
-/// One (workload, backend) scenario of a sweep.
+/// One cell of a sweep: a (workload, backend) pair plus its full
+/// scenario config and journal key.
 struct Scenario<'a> {
-    workload: &'a dyn Workload,
+    name: &'a str,
     backend: BackendKind,
+    cfg: RunCfg,
+    key: String,
 }
+
+/// What one sweep cell produced: its journaled outcome plus the report
+/// (successes only). `None` when `--fail-fast` skipped the cell.
+type CellResult = Option<(CellOutcome, Option<RunReport>)>;
 
 fn sweep(reg: &Registry, args: &[String]) {
     let scale = parse_scale(args);
@@ -260,14 +324,37 @@ fn sweep(reg: &Registry, args: &[String]) {
     let csv = has_flag(args, "--csv");
     let repeat = parse_repeat(args);
     let depth = parse_depth(args);
+    let limits = parse_limits(args);
+    let fail_fast = has_flag(args, "--fail-fast");
+    let resume = has_flag(args, "--resume");
+    let journal_path =
+        std::path::PathBuf::from(flag_value(args, "--journal").unwrap_or("sweep.journal.jsonl"));
     if json && csv {
         eprintln!("--json and --csv are mutually exclusive");
         std::process::exit(2);
     }
 
+    // Cells a previous run of this sweep already completed successfully
+    // (journal keyed by the limits-independent config hash).
+    let done = if resume {
+        match completed_cells(&journal_path) {
+            Ok(map) => map,
+            Err(e) => {
+                eprintln!(
+                    "--resume: cannot read journal {} ({e})",
+                    journal_path.display()
+                );
+                std::process::exit(2);
+            }
+        }
+    } else {
+        Default::default()
+    };
+
     // At depth > 1 the sweep covers exactly the cells that model that
     // depth (running the rest at a shallower depth would silently mix
     // hierarchies in one table).
+    let mut resumed = 0usize;
     let scenarios: Vec<Scenario> = reg
         .iter()
         .filter(|w| only_group.is_none_or(|g| w.group() == g))
@@ -276,17 +363,40 @@ fn sweep(reg: &Registry, args: &[String]) {
                 .iter()
                 .filter(|b| only_backend.is_none_or(|ob| ob == **b))
                 .filter(|&&b| w.max_depth(b) >= depth)
-                .map(move |&backend| Scenario {
-                    workload: w,
-                    backend,
+                .map(move |&backend| {
+                    let cfg = RunCfg::with_depth(backend, scale, depth).with_limits(limits);
+                    let key = format!("{:016x}", cfg.config_hash(w.name()));
+                    Scenario {
+                        name: w.name(),
+                        backend,
+                        cfg,
+                        key,
+                    }
                 })
                 .collect::<Vec<_>>()
         })
+        .filter(|s| {
+            let ok_already = done.get(&s.key).map(String::as_str) == Some("ok");
+            resumed += ok_already as usize;
+            !ok_already
+        })
         .collect();
+    if resumed > 0 {
+        eprintln!("resume: skipping {resumed} cells already journaled ok");
+    }
     if scenarios.is_empty() {
+        if resume && resumed > 0 {
+            eprintln!("resume: nothing left to run");
+            return;
+        }
         eprintln!("no scenarios match the given filters");
         std::process::exit(2);
     }
+
+    let journal = Journal::open(&journal_path, resume).unwrap_or_else(|e| {
+        eprintln!("cannot open journal {} ({e})", journal_path.display());
+        std::process::exit(2);
+    });
 
     let threads = match flag_value(args, "--threads") {
         None => default_threads(scenarios.len()),
@@ -296,73 +406,132 @@ fn sweep(reg: &Registry, args: &[String]) {
         }),
     };
     eprintln!(
-        "sweeping {} scenarios at scale {} depth {} on {} threads",
+        "sweeping {} scenarios at scale {} depth {} on {} threads (journal: {})",
         scenarios.len(),
         scale,
         depth,
-        threads
+        threads,
+        journal_path.display()
     );
 
-    let results = par_map(&scenarios, threads, |s| {
-        (
-            s.workload.name(),
-            s.backend,
-            run_repeated(
-                s.workload,
-                RunCfg::with_depth(s.backend, scale, depth),
-                repeat,
-            ),
-        )
+    // Cells run in parallel; each journals its outcome the moment it
+    // finishes, so a killed sweep loses only the in-flight cells. With
+    // --fail-fast, the first failure stops *scheduling* (in-flight cells
+    // drain); skipped cells stay out of the journal and re-run on resume.
+    let abort = AtomicBool::new(false);
+    let results: Vec<CellResult> = par_map(&scenarios, threads, |s| {
+        if fail_fast && abort.load(Ordering::Relaxed) {
+            return None;
+        }
+        let (res, attempts) = run_repeated(reg, s.name, s.cfg, repeat);
+        let outcome = CellOutcome {
+            key: s.key.clone(),
+            workload: s.name.to_string(),
+            backend: s.backend,
+            scale,
+            depth,
+            status: res
+                .as_ref()
+                .map_or_else(|e| e.kind().to_string(), |_| "ok".to_string()),
+            attempts,
+            wall_ns: res.as_ref().map_or(0, |r| r.wall_ns),
+            error: res.as_ref().err().map(|e| e.to_string()),
+        };
+        if let Err(e) = journal.record(&outcome) {
+            eprintln!("journal write failed for {}: {e}", s.name);
+        }
+        if res.is_err() && fail_fast {
+            abort.store(true, Ordering::Relaxed);
+        }
+        Some((outcome, res.ok()))
     });
 
     let mut failures = 0usize;
+    let mut skipped = 0usize;
     if csv {
-        println!("{}", RunReport::CSV_HEADER);
-        for (name, backend, res) in &results {
-            match res {
-                Ok(r) => println!("{}", r.to_csv_row()),
-                Err(e) => {
-                    failures += 1;
-                    eprintln!("FAIL {name} on {backend}: {e}");
-                }
-            }
-        }
+        println!("{},status", RunReport::CSV_HEADER);
     } else if json {
-        let mut out = String::from("[");
-        let mut first = true;
-        for (name, backend, res) in &results {
-            match res {
-                Ok(r) => {
-                    if !first {
-                        out.push(',');
-                    }
-                    first = false;
-                    out.push_str(&r.to_json());
-                }
-                Err(e) => {
-                    failures += 1;
-                    eprintln!("FAIL {name} on {backend}: {e}");
-                }
-            }
-        }
-        out.push(']');
-        println!("{out}");
-    } else {
-        for (name, backend, res) in &results {
-            match res {
-                Ok(r) => print!("{}", r.render_text()),
-                Err(e) => {
-                    failures += 1;
-                    eprintln!("FAIL {name} on {backend}: {e}");
-                }
-            }
-        }
-        println!(
-            "sweep complete: {} ok, {} failed",
-            results.len() - failures,
-            failures
-        );
+        print!("[");
     }
+    let mut first = true;
+    for cell in &results {
+        let Some((outcome, report)) = cell else {
+            skipped += 1;
+            continue;
+        };
+        let failed = outcome.status != "ok";
+        failures += failed as usize;
+        if csv {
+            match report {
+                Some(r) => println!("{},{}", r.to_csv_row(), outcome.status),
+                None => {
+                    // Same arity as the header: identity, 8 empty metric
+                    // columns, then the status.
+                    let empties = ",".repeat(8);
+                    println!(
+                        "{},{},{}{},{}",
+                        outcome.workload,
+                        outcome.backend.as_str(),
+                        scale.as_str(),
+                        empties,
+                        outcome.status
+                    );
+                }
+            }
+        } else if json {
+            if !first {
+                print!(",");
+            }
+            first = false;
+            let body = match report {
+                Some(r) => format!("\"report\":{}", r.to_json()),
+                None => format!(
+                    "\"error\":\"{}\"",
+                    outcome
+                        .error
+                        .as_deref()
+                        .unwrap_or("")
+                        .replace('\\', "\\\\")
+                        .replace('"', "\\\"")
+                ),
+            };
+            print!(
+                "{{\"workload\":\"{}\",\"backend\":\"{}\",\"scale\":\"{}\",\"depth\":{},\
+                 \"status\":\"{}\",\"attempts\":{},{body}}}",
+                outcome.workload,
+                outcome.backend.as_str(),
+                scale.as_str(),
+                depth,
+                outcome.status,
+                outcome.attempts
+            );
+        } else if let Some(r) = report {
+            print!("{}", r.render_text());
+        }
+        if failed {
+            eprintln!(
+                "FAIL {} on {} [{}]: {}",
+                outcome.workload,
+                outcome.backend,
+                outcome.status,
+                outcome.error.as_deref().unwrap_or("")
+            );
+        }
+    }
+    if json {
+        println!("]");
+    }
+    eprintln!(
+        "sweep complete: {} ok, {} failed, {} skipped{}",
+        results.len() - failures - skipped,
+        failures,
+        skipped,
+        if resumed > 0 {
+            format!(" ({resumed} resumed as ok)")
+        } else {
+            String::new()
+        }
+    );
     if failures > 0 {
         std::process::exit(1);
     }

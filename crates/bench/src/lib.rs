@@ -20,6 +20,7 @@ pub mod props;
 pub mod registry;
 pub mod scale;
 pub mod sorting;
+pub mod sweep;
 pub mod tables;
 pub mod theorem4;
 pub mod util;

@@ -1,0 +1,148 @@
+//! End-to-end proof that the engine's fault-isolation layer works against
+//! the *real* registry: injected panics are contained to their cell,
+//! injected stalls trip the watchdog, retries recover deterministically,
+//! and injected counter corruption is visible downstream — while every
+//! untargeted cell of the sweep completes normally.
+
+use std::time::Duration;
+use wa_bench::registry::registry;
+use wa_core::engine::{BackendKind, EngineError, RunCfg, RunLimits};
+use wa_core::fault::{FaultPlan, CORRUPTION_OFFSET};
+use wa_core::par::par_map_fallible;
+use wa_core::Scale;
+
+/// The acceptance scenario: one cell panics, one stalls past its
+/// deadline, and the sweep still completes every remaining cell, with the
+/// two failures recorded under distinct typed error kinds.
+#[test]
+fn sweep_with_injected_panic_and_stall_completes_all_other_cells() {
+    let mut reg = registry();
+    reg.set_fault_plan(Some(
+        FaultPlan::parse("matmul-wa:panic@1,lu-wa:stall=5000").unwrap(),
+    ));
+    let limits = RunLimits::new(Some(Duration::from_millis(250)), 0);
+
+    // Every dense workload that advertises the explicit backend — a real
+    // slice of the matrix, driven exactly like `harness sweep`.
+    let cells: Vec<String> = reg
+        .iter()
+        .filter(|w| w.group() == "dense" && w.supports(BackendKind::Explicit))
+        .map(|w| w.name().to_string())
+        .collect();
+    assert!(cells.len() >= 6, "expected a populated dense group");
+
+    let results = par_map_fallible(&cells, 4, |name| {
+        let cfg = RunCfg::new(BackendKind::Explicit, Scale::Small).with_limits(limits);
+        reg.run_cfg(name, cfg)
+    });
+
+    let mut kinds = std::collections::BTreeMap::new();
+    for (name, res) in cells.iter().zip(&results) {
+        // par_map_fallible itself never sees a panic: containment already
+        // happened inside the registry dispatch.
+        let res = res.as_ref().expect("engine leaked a panic past dispatch");
+        match res {
+            Ok(r) => assert_eq!(&r.workload, name),
+            Err(e) => {
+                kinds.insert(name.as_str(), e.kind());
+            }
+        }
+    }
+    assert_eq!(kinds.get("matmul-wa"), Some(&"panicked"));
+    assert_eq!(kinds.get("lu-wa"), Some(&"timed-out"));
+    assert_eq!(
+        kinds.len(),
+        2,
+        "only the targeted cells may fail: {kinds:?}"
+    );
+}
+
+#[test]
+fn injected_panic_carries_its_payload_and_spares_the_next_invocation() {
+    let mut reg = registry();
+    reg.set_fault_plan(Some(FaultPlan::parse("trsm-wa:panic@1").unwrap()));
+    let cfg = RunCfg::new(BackendKind::Explicit, Scale::Small);
+    match reg.run_cfg("trsm-wa", cfg) {
+        Err(EngineError::Panicked { workload, payload }) => {
+            assert_eq!(workload, "trsm-wa");
+            assert!(payload.contains("fault-injected"), "{payload}");
+        }
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+    // The fault fired on invocation 1 only; the cell recovers.
+    assert!(reg.run_cfg("trsm-wa", cfg).is_ok());
+}
+
+#[test]
+fn stall_then_retry_succeeds_within_the_budget() {
+    // Invocation 1 stalls past the deadline, invocation 2 (the retry) is
+    // clean: the canonical timeout-retry-then-succeed path.
+    let mut reg = registry();
+    reg.set_fault_plan(Some(FaultPlan::parse("cholesky-wa:stall=5000@1").unwrap()));
+    let cfg = RunCfg::new(BackendKind::Explicit, Scale::Small)
+        .with_limits(RunLimits::new(Some(Duration::from_millis(200)), 1));
+    let (res, attempts) = reg.run_cfg_traced("cholesky-wa", cfg);
+    assert!(res.is_ok(), "{res:?}");
+    assert_eq!(attempts, 2);
+    assert_eq!(reg.fault_plan().unwrap().invocations("cholesky-wa"), 2);
+}
+
+#[test]
+fn panic_then_retry_succeeds_and_is_deterministic() {
+    for _ in 0..2 {
+        let mut reg = registry();
+        reg.set_fault_plan(Some(FaultPlan::parse("matmul-wa:panic@1").unwrap()));
+        let cfg =
+            RunCfg::new(BackendKind::Explicit, Scale::Small).with_limits(RunLimits::new(None, 2));
+        let (res, attempts) = reg.run_cfg_traced("matmul-wa", cfg);
+        let r = res.expect("retry should recover from a one-shot panic");
+        assert_eq!(attempts, 2, "panic@1 must cost exactly one retry");
+        assert!(r.writes_to_slow() > 0);
+    }
+}
+
+#[test]
+fn corrupted_counters_break_cross_model_agreement() {
+    // matmul-wa's explicit and simmed slow writes agree exactly (the
+    // conformance suite's Exact cell); injecting corruption into the
+    // simmed run must produce a detectable disagreement of exactly the
+    // corruption offset — proving a counter-corruption fault cannot slip
+    // through the agreement checks.
+    let mut reg = registry();
+    reg.set_fault_plan(Some(FaultPlan::parse("matmul-wa:corrupt@1").unwrap()));
+    let corrupted = reg
+        .run_cfg("matmul-wa", RunCfg::new(BackendKind::Simmed, Scale::Small))
+        .unwrap();
+    let clean_explicit = reg
+        .run_cfg(
+            "matmul-wa",
+            RunCfg::new(BackendKind::Explicit, Scale::Small),
+        )
+        .unwrap();
+    let c = corrupted.slow_traffic().writes_to_slow();
+    let e = clean_explicit.slow_traffic().writes_to_slow();
+    assert_eq!(c, e + CORRUPTION_OFFSET, "corruption must be visible");
+    assert!(corrupted.notes.iter().any(|n| n.contains("fault-injected")));
+}
+
+#[test]
+fn timeout_limits_do_not_change_a_clean_cells_counters() {
+    // The watchdog path runs the cell on a helper thread; counters must
+    // be identical to the inline path.
+    let reg = registry();
+    let inline = reg
+        .run_cfg(
+            "matmul-wa",
+            RunCfg::new(BackendKind::Explicit, Scale::Small),
+        )
+        .unwrap();
+    let watched = reg
+        .run_cfg(
+            "matmul-wa",
+            RunCfg::new(BackendKind::Explicit, Scale::Small)
+                .with_limits(RunLimits::new(Some(Duration::from_secs(60)), 3)),
+        )
+        .unwrap();
+    assert_eq!(inline.writes_per_level, watched.writes_per_level);
+    assert_eq!(inline.flops, watched.flops);
+}

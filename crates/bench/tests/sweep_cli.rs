@@ -1,0 +1,230 @@
+//! CLI-level tests of `harness sweep`'s failure semantics: documented
+//! exit codes, the per-cell `status` column, the incremental JSONL
+//! journal, and `--resume` re-running only failed/missing cells.
+//!
+//! These drive the real binary (`CARGO_BIN_EXE_harness`), so they pin the
+//! contract scripts and CI see, not just the library behavior.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn harness() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_harness"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("wa-sweep-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// The small, fast sweep slice all these tests use.
+fn sweep_args(journal: &Path) -> Vec<String> {
+    [
+        "sweep",
+        "--group",
+        "dense",
+        "--backend",
+        "explicit",
+        "--csv",
+        "--journal",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain([journal.display().to_string()])
+    .collect()
+}
+
+#[test]
+fn clean_sweep_exits_zero_with_ok_status_column() {
+    let dir = tmp_dir("clean");
+    let journal = dir.join("j.jsonl");
+    let out = harness().args(sweep_args(&journal)).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let csv = stdout(&out);
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap();
+    assert!(header.ends_with(",status"), "{header}");
+    let rows: Vec<&str> = lines.collect();
+    assert!(rows.len() >= 6, "{csv}");
+    for row in &rows {
+        assert!(row.ends_with(",ok"), "{row}");
+        assert_eq!(
+            row.split(',').count(),
+            header.split(',').count(),
+            "CSV arity: {row}"
+        );
+    }
+    assert!(journal.exists(), "sweep must journal unconditionally");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn faulted_sweep_exits_nonzero_journals_failures_and_resumes() {
+    let dir = tmp_dir("faulted");
+    let journal = dir.join("j.jsonl");
+
+    // Pass 1: one injected panic + one injected stall (with a deadline
+    // shorter than the stall). The process must survive, run every other
+    // cell, exit 1, and journal both failures with distinct typed kinds.
+    let out = harness()
+        .args(sweep_args(&journal))
+        .args([
+            "--fault-plan",
+            "matmul-wa:panic@1,lu-wa:stall=5000",
+            "--timeout",
+            "1.0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a sweep with failed cells must exit 1; stderr: {}",
+        stderr(&out)
+    );
+    let csv = stdout(&out);
+    assert!(
+        csv.lines()
+            .any(|l| l.starts_with("matmul-wa,") && l.ends_with(",panicked")),
+        "{csv}"
+    );
+    assert!(
+        csv.lines()
+            .any(|l| l.starts_with("lu-wa,") && l.ends_with(",timed-out")),
+        "{csv}"
+    );
+    let ok_rows = csv.lines().filter(|l| l.ends_with(",ok")).count();
+    assert!(ok_rows >= 4, "untargeted cells must complete: {csv}");
+    let j = std::fs::read_to_string(&journal).unwrap();
+    assert!(j.contains("\"status\":\"panicked\""), "{j}");
+    assert!(j.contains("\"status\":\"timed-out\""), "{j}");
+
+    // Pass 2: --resume without faults re-runs ONLY the two failed cells
+    // and exits 0; the journal ends up all-ok.
+    let out = harness()
+        .args(sweep_args(&journal))
+        .arg("--resume")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let csv = stdout(&out);
+    let rows: Vec<&str> = csv.lines().skip(1).collect();
+    assert_eq!(rows.len(), 2, "resume must re-run only failed cells: {csv}");
+    assert!(rows.iter().all(|r| r.ends_with(",ok")), "{csv}");
+    assert!(
+        rows.iter().any(|r| r.starts_with("matmul-wa,"))
+            && rows.iter().any(|r| r.starts_with("lu-wa,")),
+        "{csv}"
+    );
+    assert!(
+        stderr(&out).contains("resume: skipping"),
+        "{}",
+        stderr(&out)
+    );
+
+    // Pass 3: resuming a fully-ok journal runs nothing and exits 0.
+    let out = harness()
+        .args(sweep_args(&journal))
+        .arg("--resume")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        stderr(&out).contains("nothing left to run"),
+        "{}",
+        stderr(&out)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fail_fast_skips_later_cells_and_resume_picks_them_up() {
+    let dir = tmp_dir("failfast");
+    let journal = dir.join("j.jsonl");
+    // Single-threaded so ordering is deterministic: matmul-wa (the first
+    // dense explicit cell) panics, everything after it is skipped.
+    let out = harness()
+        .args(sweep_args(&journal))
+        .args([
+            "--fault-plan",
+            "matmul-wa:panic@1",
+            "--fail-fast",
+            "--threads",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("skipped"), "{err}");
+    let journaled = std::fs::read_to_string(&journal).unwrap().lines().count();
+    assert_eq!(journaled, 1, "only the failed cell may be journaled");
+
+    // Resume re-runs the failed cell and every skipped (missing) cell.
+    let out = harness()
+        .args(sweep_args(&journal))
+        .arg("--resume")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let rows = stdout(&out).lines().count() - 1;
+    assert!(rows >= 6, "skipped cells must re-run on resume, got {rows}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn run_subcommand_contains_panics_and_exits_one() {
+    let out = harness()
+        .args([
+            "run",
+            "matmul-wa",
+            "--backend",
+            "explicit",
+            "--fault-plan",
+            "matmul-wa:panic@1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("panicked"), "{}", stderr(&out));
+    // With a retry budget the same invocation succeeds.
+    let out = harness()
+        .args([
+            "run",
+            "matmul-wa",
+            "--backend",
+            "explicit",
+            "--fault-plan",
+            "matmul-wa:panic@1",
+            "--retries",
+            "1",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("\"workload\":\"matmul-wa\""));
+}
+
+#[test]
+fn degenerate_flags_are_usage_errors() {
+    for args in [
+        vec!["sweep", "--timeout", "0"],
+        vec!["sweep", "--timeout", "nope"],
+        vec!["sweep", "--retries", "-3"],
+        vec!["sweep", "--fault-plan", "matmul-wa:explode"],
+        vec!["run", "matmul-wa", "--timeout", "0"],
+    ] {
+        let out = harness().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {}", stderr(&out));
+    }
+}

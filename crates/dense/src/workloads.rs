@@ -158,6 +158,7 @@ fn run_matmul_wa_deep(cfg: RunCfg) -> Result<RunReport, EngineError> {
         backend,
         scale,
         depth,
+        ..
     } = cfg;
     let (blocks, caps, n) = deep_geometry(scale, depth);
     let a = Mat::random(n, n, 11);

@@ -111,6 +111,7 @@ fn solver_workload(
                   backend,
                   scale,
                   depth,
+                  ..
               }| {
             let g = grid(scale);
             let a = laplacian_2d(g, g, 0.1);
@@ -173,6 +174,7 @@ fn tsqr_workload(name: &'static str, description: &'static str, store: bool) -> 
                   backend,
                   scale,
                   depth,
+                  ..
               }| {
             let s = 8usize;
             let rpb = 64usize;

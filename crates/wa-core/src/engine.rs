@@ -8,9 +8,14 @@
 //! explicit-movement model and the cache simulator and compare
 //! [`crate::report::RunReport`]s.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::report::RunReport;
+use crate::rng::XorShift;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// How a workload executes and how its traffic is measured.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -97,8 +102,38 @@ impl fmt::Display for Scale {
     }
 }
 
+/// Hierarchy depths the engine will even consider dispatching. No
+/// workload models more than 3 levels today; anything past this cap is a
+/// typo'd config, rejected at the registry boundary before a kernel can
+/// trip over it.
+pub const MAX_DEPTH_CAP: usize = 8;
+
+/// Upper bound on [`RunLimits::retries`]. Retries multiply sweep cost;
+/// past this the config is degenerate, not cautious.
+pub const MAX_RETRIES_CAP: u32 = 16;
+
+/// Execution-policy limits for one dispatch: how long a cell may run and
+/// how often a *retriable* failure (panic, timeout, transient error) is
+/// re-attempted. Limits never change what a workload computes — they are
+/// deliberately excluded from [`RunCfg::cell_key`] so a journal written
+/// under one timeout resumes cleanly under another.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct RunLimits {
+    /// Wall-clock deadline per attempt; `None` (the default) waits forever.
+    pub timeout: Option<Duration>,
+    /// Extra attempts after a retriable failure (0 = single attempt).
+    pub retries: u32,
+}
+
+impl RunLimits {
+    pub fn new(timeout: Option<Duration>, retries: u32) -> Self {
+        RunLimits { timeout, retries }
+    }
+}
+
 /// One execution scenario: backend, scale, and — for the traffic-counting
-/// backends — the modeled hierarchy depth.
+/// backends — the modeled hierarchy depth, plus execution-policy
+/// [`RunLimits`] (deadline, retry budget).
 ///
 /// `depth` is the number of explicit/simulated cache levels between the
 /// processor and the backing store: 1 is the classical two-level model of
@@ -111,15 +146,17 @@ pub struct RunCfg {
     pub backend: BackendKind,
     pub scale: Scale,
     pub depth: usize,
+    pub limits: RunLimits,
 }
 
 impl RunCfg {
-    /// The default scenario: depth 1 (the two-level model).
+    /// The default scenario: depth 1 (the two-level model), no limits.
     pub fn new(backend: BackendKind, scale: Scale) -> Self {
         RunCfg {
             backend,
             scale,
             depth: 1,
+            limits: RunLimits::default(),
         }
     }
 
@@ -128,8 +165,109 @@ impl RunCfg {
             backend,
             scale,
             depth,
+            limits: RunLimits::default(),
         }
     }
+
+    /// Builder form for attaching execution limits to a scenario.
+    pub fn with_limits(mut self, limits: RunLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Canonical identity of the (workload, scenario) cell: the fields
+    /// that determine the *result*, serialized in one fixed order.
+    /// [`RunLimits`] are execution policy, not identity, and are excluded
+    /// — the same cell under a different timeout is the same cell.
+    pub fn cell_key(&self, workload: &str) -> String {
+        format!(
+            "{workload}|{}|{}|{}",
+            self.backend.as_str(),
+            self.scale.as_str(),
+            self.depth
+        )
+    }
+
+    /// Parse a [`RunCfg::cell_key`] back into `(workload, cfg)` — the
+    /// round-trip the sweep journal's stability property test exercises.
+    pub fn parse_cell_key(key: &str) -> Option<(String, RunCfg)> {
+        let mut parts = key.split('|');
+        let workload = parts.next()?.to_string();
+        let backend = BackendKind::parse(parts.next()?)?;
+        let scale = Scale::parse(parts.next()?)?;
+        let depth: usize = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some((workload, RunCfg::with_depth(backend, scale, depth)))
+    }
+
+    /// Stable 64-bit hash of [`RunCfg::cell_key`] (FNV-1a). Deterministic
+    /// across processes and field construction order — the journal key
+    /// and the retry-backoff jitter seed.
+    pub fn config_hash(&self, workload: &str) -> u64 {
+        fnv1a64(self.cell_key(workload).as_bytes())
+    }
+
+    /// Reject degenerate scenarios with typed errors before dispatch:
+    /// depth 0 or past [`MAX_DEPTH_CAP`], a zero timeout, or a retry
+    /// budget past [`MAX_RETRIES_CAP`]. Workload-relative depth limits
+    /// (`max_depth`) are still checked by the workload itself.
+    pub fn validate(&self, workload: &str) -> Result<(), EngineError> {
+        let invalid = |field: &'static str, value: String, reason: &str| {
+            Err(EngineError::InvalidConfig {
+                workload: workload.to_string(),
+                field,
+                value,
+                reason: reason.to_string(),
+            })
+        };
+        if self.depth == 0 {
+            return invalid("depth", "0".into(), "hierarchy depth is 1-based");
+        }
+        if self.depth > MAX_DEPTH_CAP {
+            return invalid(
+                "depth",
+                self.depth.to_string(),
+                "exceeds the engine-wide depth cap",
+            );
+        }
+        if self.limits.timeout == Some(Duration::ZERO) {
+            return invalid("timeout", "0".into(), "a zero deadline can never be met");
+        }
+        if self.limits.retries > MAX_RETRIES_CAP {
+            return invalid(
+                "retries",
+                self.limits.retries.to_string(),
+                "exceeds the engine-wide retry cap",
+            );
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over bytes: tiny, dependency-free, stable across platforms.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic backoff before retry `attempt` (1-based: the delay taken
+/// after the first failure is `attempt == 1`). Exponential base of 10 ms
+/// doubling per attempt, capped at 200 ms, with ±50% jitter drawn from a
+/// [`XorShift`] stream seeded by the cell's config hash — so a rerun of
+/// the same sweep retries on exactly the same schedule.
+pub fn backoff_delay(config_hash: u64, attempt: u32) -> Duration {
+    let base_ms = 10u64
+        .saturating_mul(1u64 << attempt.saturating_sub(1).min(10))
+        .min(200);
+    let mut rng = XorShift::new(config_hash ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let jitter = 0.5 + rng.next_unit(); // [0.5, 1.5)
+    Duration::from_micros((base_ms as f64 * 1000.0 * jitter) as u64)
 }
 
 /// Why a run could not produce a report.
@@ -149,10 +287,62 @@ pub enum EngineError {
         depth: usize,
         max: usize,
     },
+    /// A scenario field failed [`RunCfg::validate`] at the engine boundary.
+    InvalidConfig {
+        workload: String,
+        field: &'static str,
+        value: String,
+        reason: String,
+    },
+    /// The dispatch panicked; the payload was contained by the engine.
+    Panicked {
+        workload: String,
+        payload: String,
+    },
+    /// The dispatch outlived its [`RunLimits::timeout`] deadline.
+    TimedOut {
+        workload: String,
+        elapsed: Duration,
+        deadline: Duration,
+    },
+    /// A transient failure the caller (or the engine's retry loop) may
+    /// re-attempt — the variant workloads return for recoverable faults.
+    Retriable {
+        workload: String,
+        message: String,
+    },
     Failed {
         workload: String,
         message: String,
     },
+}
+
+impl EngineError {
+    /// Short machine-readable kind tag — the sweep journal/CSV `status`
+    /// vocabulary (`ok` is the success tag alongside these).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineError::UnknownWorkload { .. } => "unknown-workload",
+            EngineError::UnsupportedBackend { .. } => "unsupported-backend",
+            EngineError::UnsupportedDepth { .. } => "unsupported-depth",
+            EngineError::InvalidConfig { .. } => "invalid-config",
+            EngineError::Panicked { .. } => "panicked",
+            EngineError::TimedOut { .. } => "timed-out",
+            EngineError::Retriable { .. } => "retriable",
+            EngineError::Failed { .. } => "failed",
+        }
+    }
+
+    /// Whether the engine's retry loop may re-attempt after this error.
+    /// Config/registry errors are permanent: retrying a typo is futile.
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            EngineError::Panicked { .. }
+                | EngineError::TimedOut { .. }
+                | EngineError::Retriable { .. }
+        )
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -184,6 +374,35 @@ impl fmt::Display for EngineError {
                     "workload `{workload}` on `{backend}` models hierarchy depths 1..={max}, \
                      not {depth}"
                 )
+            }
+            EngineError::InvalidConfig {
+                workload,
+                field,
+                value,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "invalid config for `{workload}`: {field} = {value} ({reason})"
+                )
+            }
+            EngineError::Panicked { workload, payload } => {
+                write!(f, "workload `{workload}` panicked: {payload}")
+            }
+            EngineError::TimedOut {
+                workload,
+                elapsed,
+                deadline,
+            } => {
+                write!(
+                    f,
+                    "workload `{workload}` timed out after {:.1} ms (deadline {:.1} ms)",
+                    elapsed.as_secs_f64() * 1e3,
+                    deadline.as_secs_f64() * 1e3
+                )
+            }
+            EngineError::Retriable { workload, message } => {
+                write!(f, "workload `{workload}` hit a retriable fault: {message}")
             }
             EngineError::Failed { workload, message } => {
                 write!(f, "workload `{workload}` failed: {message}")
@@ -316,10 +535,21 @@ impl Workload for FnWorkload {
 
 /// Name-indexed collection of workloads. Registration order is preserved
 /// for listing; lookup is by exact name.
+///
+/// Dispatch through [`Registry::run_cfg`] is *fault-isolated*: every run
+/// executes under `catch_unwind` (a panicking workload becomes
+/// [`EngineError::Panicked`], not a process abort), an optional watchdog
+/// enforces the scenario's [`RunLimits::timeout`] on a helper thread, and
+/// retriable failures are re-attempted up to [`RunLimits::retries`] times
+/// with deterministic backoff ([`backoff_delay`]). An installed
+/// [`FaultPlan`] injects faults inside this guarded path.
 #[derive(Default)]
 pub struct Registry {
     order: Vec<String>,
-    by_name: BTreeMap<String, Box<dyn Workload>>,
+    // Arc (not Box) so the watchdog path can hand a clone to a detached
+    // worker thread — a timed-out cell's thread may outlive the dispatch.
+    by_name: BTreeMap<String, Arc<dyn Workload>>,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Registry {
@@ -336,7 +566,17 @@ impl Registry {
             "duplicate workload registration: {name}"
         );
         self.order.push(name.clone());
-        self.by_name.insert(name, w);
+        self.by_name.insert(name, Arc::from(w));
+    }
+
+    /// Install a deterministic fault-injection plan; every subsequent
+    /// dispatch consults it. `None` clears it.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan.map(Arc::new);
+    }
+
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_deref()
     }
 
     /// Register a whole batch (the per-crate `workloads()` vectors).
@@ -355,7 +595,7 @@ impl Registry {
     }
 
     pub fn get(&self, name: &str) -> Option<&dyn Workload> {
-        self.by_name.get(name).map(|b| b.as_ref())
+        self.by_name.get(name).map(|b| &**b)
     }
 
     /// Workloads in registration order.
@@ -373,12 +613,117 @@ impl Registry {
         self.run_cfg(name, RunCfg::new(backend, scale))
     }
 
-    /// Run `name` under the full scenario `cfg` (backend, scale, depth).
+    /// Run `name` under the full scenario `cfg` (backend, scale, depth,
+    /// limits) with fault isolation. See [`Registry::run_cfg_traced`].
     pub fn run_cfg(&self, name: &str, cfg: RunCfg) -> Result<RunReport, EngineError> {
-        let w = self.get(name).ok_or_else(|| EngineError::UnknownWorkload {
-            name: name.to_string(),
-        })?;
-        w.run_cfg(cfg)
+        self.run_cfg_traced(name, cfg).0
+    }
+
+    /// Fault-isolated dispatch, also reporting how many attempts were
+    /// made (≥ 1 once dispatch began; 0 for pre-dispatch config errors).
+    ///
+    /// Per attempt: an injected fault (if a plan is installed and a rule
+    /// fires) is applied inside the guarded section, the run executes
+    /// under `catch_unwind`, and — when `cfg.limits.timeout` is set — a
+    /// watchdog bounds the attempt's wall clock. A timed-out worker
+    /// thread cannot be killed; it is detached and its eventual result
+    /// discarded. Retriable failures back off deterministically
+    /// ([`backoff_delay`] seeded from the cell's config hash) and retry
+    /// up to `cfg.limits.retries` times.
+    pub fn run_cfg_traced(&self, name: &str, cfg: RunCfg) -> (Result<RunReport, EngineError>, u32) {
+        let Some(w) = self.by_name.get(name) else {
+            return (
+                Err(EngineError::UnknownWorkload {
+                    name: name.to_string(),
+                }),
+                0,
+            );
+        };
+        if let Err(e) = cfg.validate(name) {
+            return (Err(e), 0);
+        }
+        let hash = cfg.config_hash(name);
+        let max_attempts = cfg.limits.retries + 1;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let fault = self.fault_plan.as_ref().and_then(|p| p.on_invocation(name));
+            let res = run_guarded(Arc::clone(w), name, cfg, fault);
+            match res {
+                Ok(r) => return (Ok(r), attempt),
+                Err(e) if e.is_retriable() && attempt < max_attempts => {
+                    std::thread::sleep(backoff_delay(hash, attempt));
+                }
+                Err(e) => return (Err(e), attempt),
+            }
+        }
+    }
+}
+
+/// One guarded attempt: apply the injected fault, contain panics, and —
+/// when a deadline is set — run on a helper thread bounded by a watchdog
+/// wait. Without a deadline the attempt runs inline (no thread cost).
+fn run_guarded(
+    w: Arc<dyn Workload>,
+    name: &str,
+    cfg: RunCfg,
+    fault: Option<FaultKind>,
+) -> Result<RunReport, EngineError> {
+    let Some(deadline) = cfg.limits.timeout else {
+        return execute_contained(&*w, name, cfg, fault);
+    };
+    let (tx, rx) = mpsc::channel();
+    let owned = name.to_string();
+    let t0 = Instant::now();
+    std::thread::Builder::new()
+        .name(format!("wa-cell-{name}"))
+        .spawn(move || {
+            let r = execute_contained(&*w, &owned, cfg, fault);
+            let _ = tx.send(r); // receiver may have given up: fine
+        })
+        .expect("spawn cell worker thread");
+    match rx.recv_timeout(deadline) {
+        Ok(r) => r,
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(EngineError::TimedOut {
+            workload: name.to_string(),
+            elapsed: t0.elapsed(),
+            deadline,
+        }),
+        // Unreachable in practice: execute_contained never unwinds, so
+        // the sender is dropped only after a send.
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(EngineError::Panicked {
+            workload: name.to_string(),
+            payload: "cell worker thread vanished".to_string(),
+        }),
+    }
+}
+
+/// The innermost attempt body: inject the fault, run the workload, and
+/// convert any unwind into [`EngineError::Panicked`].
+fn execute_contained(
+    w: &dyn Workload,
+    name: &str,
+    cfg: RunCfg,
+    fault: Option<FaultKind>,
+) -> Result<RunReport, EngineError> {
+    let unwound = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        match fault {
+            Some(FaultKind::Panic) => panic!("fault-injected panic in `{name}`"),
+            Some(FaultKind::Stall(d)) => std::thread::sleep(d),
+            Some(FaultKind::Corrupt) | None => {}
+        }
+        let mut r = w.run_cfg(cfg)?;
+        if fault == Some(FaultKind::Corrupt) {
+            crate::fault::corrupt_report(&mut r);
+        }
+        Ok(r)
+    }));
+    match unwound {
+        Ok(inner) => inner,
+        Err(payload) => Err(EngineError::Panicked {
+            workload: name.to_string(),
+            payload: crate::par::panic_payload_message(payload),
+        }),
     }
 }
 
@@ -469,6 +814,229 @@ mod tests {
         assert!(err.to_string().contains("depths 1..=1"), "{err}");
         // run() is the depth-1 scenario.
         assert!(w.run(BackendKind::Simmed, Scale::Small).is_ok());
+    }
+
+    #[test]
+    fn registry_contains_workload_panics() {
+        let mut r = Registry::new();
+        r.register(FnWorkload::boxed(
+            "bomb",
+            "test",
+            "panics on dispatch",
+            &[BackendKind::Raw],
+            |_| panic!("kernel exploded at depth 7"),
+        ));
+        let err = r.run("bomb", BackendKind::Raw, Scale::Small).unwrap_err();
+        match &err {
+            EngineError::Panicked { workload, payload } => {
+                assert_eq!(workload, "bomb");
+                assert!(payload.contains("kernel exploded"), "{payload}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(err.kind(), "panicked");
+        assert!(err.is_retriable());
+    }
+
+    #[test]
+    fn watchdog_enforces_deadline() {
+        let mut r = Registry::new();
+        r.register(FnWorkload::boxed(
+            "sleeper",
+            "test",
+            "stalls forever (well, 10s)",
+            &[BackendKind::Raw],
+            |cfg| {
+                std::thread::sleep(std::time::Duration::from_secs(10));
+                Ok(RunReport::new("sleeper", cfg.backend, cfg.scale))
+            },
+        ));
+        let cfg = RunCfg::new(BackendKind::Raw, Scale::Small)
+            .with_limits(RunLimits::new(Some(Duration::from_millis(50)), 0));
+        let t0 = Instant::now();
+        let err = r.run_cfg("sleeper", cfg).unwrap_err();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "watchdog did not fire"
+        );
+        match err {
+            EngineError::TimedOut {
+                elapsed, deadline, ..
+            } => {
+                assert_eq!(deadline, Duration::from_millis(50));
+                assert!(elapsed >= deadline);
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retriable_failures_retry_then_succeed() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let calls = std::sync::Arc::new(AtomicU32::new(0));
+        let mut r = Registry::new();
+        let c = std::sync::Arc::clone(&calls);
+        r.register(FnWorkload::boxed(
+            "flaky",
+            "test",
+            "fails twice, then succeeds",
+            &[BackendKind::Raw],
+            move |cfg| {
+                if c.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err(EngineError::Retriable {
+                        workload: "flaky".to_string(),
+                        message: "transient".to_string(),
+                    })
+                } else {
+                    Ok(RunReport::new("flaky", cfg.backend, cfg.scale))
+                }
+            },
+        ));
+        let cfg = RunCfg::new(BackendKind::Raw, Scale::Small).with_limits(RunLimits::new(None, 3));
+        let (res, attempts) = r.run_cfg_traced("flaky", cfg);
+        assert!(res.is_ok());
+        assert_eq!(attempts, 3);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        // With no retry budget the first transient failure is final.
+        let cfg0 = RunCfg::new(BackendKind::Raw, Scale::Small);
+        let (res, attempts) = r.run_cfg_traced("flaky", cfg0);
+        assert!(res.is_ok(), "counter is past the flaky window");
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let mut r = Registry::new();
+        r.register(dummy("w"));
+        let cfg =
+            RunCfg::new(BackendKind::Simmed, Scale::Small).with_limits(RunLimits::new(None, 5));
+        let (res, attempts) = r.run_cfg_traced("w", cfg);
+        assert!(matches!(res, Err(EngineError::UnsupportedBackend { .. })));
+        assert_eq!(attempts, 1, "config errors must not burn the retry budget");
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected_at_the_boundary() {
+        let mut r = Registry::new();
+        r.register(dummy("w"));
+        let base = RunCfg::new(BackendKind::Raw, Scale::Small);
+        for (cfg, field) in [
+            (RunCfg { depth: 0, ..base }, "depth"),
+            (
+                RunCfg {
+                    depth: MAX_DEPTH_CAP + 1,
+                    ..base
+                },
+                "depth",
+            ),
+            (
+                base.with_limits(RunLimits::new(Some(Duration::ZERO), 0)),
+                "timeout",
+            ),
+            (
+                base.with_limits(RunLimits::new(None, MAX_RETRIES_CAP + 1)),
+                "retries",
+            ),
+        ] {
+            let (res, attempts) = r.run_cfg_traced("w", cfg);
+            match res {
+                Err(EngineError::InvalidConfig { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("expected InvalidConfig for {field}, got {other:?}"),
+            }
+            assert_eq!(attempts, 0, "invalid configs must never dispatch");
+        }
+        // Unknown workloads still win over field validation context-wise.
+        assert!(matches!(
+            r.run_cfg("nope", RunCfg { depth: 0, ..base }),
+            Err(EngineError::UnknownWorkload { .. })
+        ));
+    }
+
+    #[test]
+    fn cell_key_round_trips_and_hash_ignores_limits() {
+        let cfg = RunCfg::with_depth(BackendKind::Simmed, Scale::Paper, 3);
+        let key = cfg.cell_key("matmul-wa");
+        assert_eq!(key, "matmul-wa|simmed|paper|3");
+        let (w, parsed) = RunCfg::parse_cell_key(&key).unwrap();
+        assert_eq!(w, "matmul-wa");
+        assert_eq!(
+            parsed.config_hash("matmul-wa"),
+            cfg.config_hash("matmul-wa")
+        );
+        // Limits are execution policy, not cell identity.
+        let limited = cfg.with_limits(RunLimits::new(Some(Duration::from_secs(1)), 4));
+        assert_eq!(
+            limited.config_hash("matmul-wa"),
+            cfg.config_hash("matmul-wa")
+        );
+        // Different cells hash differently (FNV over distinct keys).
+        assert_ne!(
+            cfg.config_hash("matmul-wa"),
+            cfg.config_hash("matmul-nonwa")
+        );
+        assert!(RunCfg::parse_cell_key("garbage").is_none());
+        assert!(RunCfg::parse_cell_key("w|raw|small|1|extra").is_none());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let h = RunCfg::new(BackendKind::Raw, Scale::Small).config_hash("w");
+        for attempt in 1..=5 {
+            let a = backoff_delay(h, attempt);
+            let b = backoff_delay(h, attempt);
+            assert_eq!(a, b, "same (hash, attempt) must give the same delay");
+            // base ∈ [10, 200] ms, jitter ∈ [0.5, 1.5).
+            assert!(a >= Duration::from_millis(5), "{a:?}");
+            assert!(a < Duration::from_millis(300), "{a:?}");
+        }
+        assert_ne!(
+            backoff_delay(h, 1),
+            backoff_delay(h ^ 1, 1),
+            "different cells should jitter differently"
+        );
+    }
+
+    #[test]
+    fn fault_plan_injects_panic_stall_and_corruption() {
+        use crate::fault::{FaultPlan, CORRUPTION_OFFSET};
+        let mut r = Registry::new();
+        r.register(FnWorkload::boxed(
+            "victim",
+            "test",
+            "healthy unless a fault fires",
+            &[BackendKind::Raw],
+            |cfg| {
+                let mut rep = RunReport::new("victim", cfg.backend, cfg.scale);
+                rep.flops = 100;
+                Ok(rep)
+            },
+        ));
+        r.set_fault_plan(Some(
+            FaultPlan::parse("victim:panic@1,victim:corrupt@2").unwrap(),
+        ));
+        let cfg = RunCfg::new(BackendKind::Raw, Scale::Small);
+        // Invocation 1: injected panic, contained.
+        assert!(matches!(
+            r.run_cfg("victim", cfg),
+            Err(EngineError::Panicked { .. })
+        ));
+        // Invocation 2: corrupted counters, marked by a note.
+        let rep = r.run_cfg("victim", cfg).unwrap();
+        assert_eq!(rep.flops, 100 + CORRUPTION_OFFSET);
+        assert!(rep.notes.iter().any(|n| n.contains("fault-injected")));
+        // Invocation 3: clean again.
+        let rep = r.run_cfg("victim", cfg).unwrap();
+        assert_eq!(rep.flops, 100);
+        // Retry converts a first-invocation panic into eventual success.
+        let mut r2 = Registry::new();
+        r2.register(dummy("w"));
+        r2.set_fault_plan(Some(FaultPlan::parse("w:panic@1").unwrap()));
+        let (res, attempts) = r2.run_cfg_traced(
+            "w",
+            RunCfg::new(BackendKind::Raw, Scale::Small).with_limits(RunLimits::new(None, 2)),
+        );
+        assert!(res.is_ok());
+        assert_eq!(attempts, 2);
     }
 
     #[test]

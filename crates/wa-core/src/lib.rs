@@ -24,12 +24,17 @@
 //!   [`engine::Registry`] the harness drives;
 //! * [`report`] — [`report::RunReport`], the uniform JSON-emitting result
 //!   type both measurement models project into;
-//! * [`par`] — scoped-thread `par_map` for parallel scenario sweeps
-//!   (rayon is unavailable in the offline build environment).
+//! * [`par`] — scoped-thread `par_map`/`par_map_fallible` for parallel
+//!   scenario sweeps with per-item panic containment (rayon is
+//!   unavailable in the offline build environment);
+//! * [`fault`] — deterministic fault injection (panic / stall / counter
+//!   corruption on a workload's Nth invocation), the rig that exercises
+//!   the engine's containment, deadline, and retry machinery.
 
 pub mod bounds;
 pub mod cost;
 pub mod engine;
+pub mod fault;
 pub mod matrix;
 pub mod par;
 pub mod report;
@@ -37,7 +42,10 @@ pub mod rng;
 pub mod traffic;
 
 pub use cost::CostParams;
-pub use engine::{BackendKind, EngineError, FnWorkload, Registry, RunCfg, Scale, Workload};
+pub use engine::{
+    BackendKind, EngineError, FnWorkload, Registry, RunCfg, RunLimits, Scale, Workload,
+};
+pub use fault::{FaultKind, FaultPlan};
 pub use matrix::Mat;
 pub use report::RunReport;
 pub use rng::XorShift;
