@@ -6,10 +6,18 @@
 //!     --markdown emits the README workload×backend support table.
 //!
 //! harness run <workload> [--backend B] [--scale S] [--depth D] [--json]
+//!             [--trace out.json] [--trace-clock wall|logical]
 //!     Execute one workload on one backend and print its RunReport.
 //!     B: raw | simmed | traced | explicit (default: the workload's first
 //!     declared backend). S: small | paper (default small). D: modeled
 //!     hierarchy depth for traffic-counting backends (default 1).
+//!     --trace writes a Chrome trace-event JSON (engine spans, simulator
+//!     counter tracks) openable in Perfetto / chrome://tracing.
+//!
+//! harness profile <workload> [--backend B] [--scale S] [--depth D] [--reuse]
+//!     Run one cell with the simulator probe attached and print the
+//!     per-phase table: accesses, per-level fills/write-backs, DRAM
+//!     lines, memo hit rate, wall time per kernel-marked phase.
 //!
 //! harness sweep [--group G] [--backend B] [--scale S] [--depth D]
 //!               [--threads N] [--json|--csv]
@@ -28,14 +36,17 @@
 //! schema regardless of backend, so explicit-vs-simulated comparisons are
 //! a diff of two JSON documents.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::io::IsTerminal;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use wa_bench::registry::registry;
 use wa_bench::scale::Repl;
 use wa_bench::sweep::{completed_cells, CellOutcome, Journal};
 use wa_bench::{bounds_exp, fig2, fig5, ksm, lu_par, props, sorting, tables, theorem4, waopt};
 use wa_core::engine::{BackendKind, EngineError, RunCfg, RunLimits, Workload};
 use wa_core::fault::FaultPlan;
+use wa_core::obs::{self, Clock, PhaseRow, Recorder};
 use wa_core::par::{default_threads, par_map};
 use wa_core::report::{median_wall_ns, RunReport};
 use wa_core::{CostParams, Registry, Scale};
@@ -51,6 +62,7 @@ fn main() {
             has_flag(rest, "--markdown"),
         ),
         "run" => run(&faulted_registry(rest), rest),
+        "profile" => profile(&faulted_registry(rest), rest),
         "sweep" => sweep(&faulted_registry(rest), rest),
         "exp" => exp(rest),
         "help" | "--help" | "-h" => usage(0),
@@ -63,7 +75,7 @@ fn main() {
 
 fn usage(code: i32) -> ! {
     eprintln!(
-        "usage:\n  harness list [--json|--markdown]\n  harness run <workload> [--backend B] [--scale S] [--depth D] [--repeat N] [--timeout SECS] [--retries N] [--json]\n  harness sweep [--group G] [--backend B] [--scale S] [--depth D] [--threads N] [--repeat N]\n                [--timeout SECS] [--retries N] [--fail-fast] [--journal PATH] [--resume] [--json|--csv]\n  harness exp <command> [--scale small|paper] [--policy P]   (exp all = every paper artifact)\n\n  --depth D        hierarchy depth (cache levels) for traffic-counting backends; default 1\n  --repeat N       run each scenario N times; the report carries the median wall time\n  --timeout SECS   per-cell wall-clock deadline (float seconds); overruns become `timed-out`\n  --retries N      re-attempt panicked/timed-out/retriable cells N times (deterministic backoff)\n  --fail-fast      sweep only: stop scheduling new cells after the first failure\n  --journal PATH   sweep only: per-cell JSONL journal (default sweep.journal.jsonl)\n  --resume         sweep only: skip cells the journal already records as ok; append new outcomes\n  --fault-plan S   deterministic fault injection, e.g. `matmul-wa:panic@1,lu-wa:stall=2000`\n                   (also via env WA_FAULT_PLAN); kinds: panic | corrupt | stall=MS\n  --csv            sweep only: one CSV row per scenario (RunReport::CSV_HEADER + status)\n  --markdown       list only: the README workload×backend support table\n\nexit codes: 0 = all cells ok, 1 = at least one cell failed, 2 = usage/config error"
+        "usage:\n  harness list [--json|--markdown]\n  harness run <workload> [--backend B] [--scale S] [--depth D] [--repeat N] [--timeout SECS] [--retries N]\n                [--trace PATH] [--trace-clock wall|logical] [--reuse] [--json]\n  harness profile <workload> [--backend B] [--scale S] [--depth D] [--reuse]\n  harness sweep [--group G] [--backend B] [--scale S] [--depth D] [--threads N] [--repeat N]\n                [--timeout SECS] [--retries N] [--fail-fast] [--journal PATH] [--resume]\n                [--metrics PATH] [--json|--csv]\n  harness exp <command> [--scale small|paper] [--policy P]   (exp all = every paper artifact)\n\n  --depth D        hierarchy depth (cache levels) for traffic-counting backends; default 1\n  --repeat N       run each scenario N times; the report carries the median wall time\n  --timeout SECS   per-cell wall-clock deadline (float seconds); overruns become `timed-out`\n  --retries N      re-attempt panicked/timed-out/retriable cells N times (deterministic backoff)\n  --trace PATH     run only: write a Chrome trace-event JSON (engine spans + simulator\n                   counter tracks); open in Perfetto or chrome://tracing\n  --trace-clock C  wall (default, microseconds) or logical (deterministic event ticks)\n  --reuse          run/profile: also collect the simulator's reuse-distance histogram\n  --fail-fast      sweep only: stop scheduling new cells after the first failure\n  --journal PATH   sweep only: per-cell JSONL journal (default sweep.journal.jsonl)\n  --resume         sweep only: skip cells the journal already records as ok; append new outcomes\n  --metrics PATH   sweep only: write a JSON rollup (failure counts per kind, retry and\n                   wall-time totals, cache-memo rates)\n  --fault-plan S   deterministic fault injection, e.g. `matmul-wa:panic@1,lu-wa:stall=2000`\n                   (also via env WA_FAULT_PLAN); kinds: panic | corrupt | stall=MS\n  --csv            sweep only: one CSV row per scenario (RunReport::CSV_HEADER +\n                   wall_ms,retries_used,status)\n  --markdown       list only: the README workload×backend support table\n\nexit codes: 0 = all cells ok, 1 = at least one cell failed, 2 = usage/config error"
     );
     std::process::exit(code);
 }
@@ -125,25 +137,28 @@ fn parse_repeat(args: &[String]) -> usize {
 /// dispatch; the returned report is the last run's with the *median* wall
 /// time over all runs (echoed in config when repeated), so sweep timings
 /// are stable against scheduler noise. Also returns the total dispatch
-/// attempts consumed (retries included).
+/// attempts consumed (retries included) and the number of dispatches made
+/// — `attempts − dispatches` is the retry count the cell actually burned.
 fn run_repeated(
     reg: &Registry,
     name: &str,
     cfg: RunCfg,
     repeat: usize,
-) -> (Result<RunReport, EngineError>, u32) {
+) -> (Result<RunReport, EngineError>, u32, u32) {
     let mut walls = Vec::with_capacity(repeat);
     let mut last = None;
     let mut total_attempts = 0u32;
+    let mut dispatches = 0u32;
     for _ in 0..repeat {
         let (res, attempts) = reg.run_cfg_traced(name, cfg);
+        dispatches += 1;
         total_attempts += attempts;
         match res {
             Ok(r) => {
                 walls.push(r.wall_ns);
                 last = Some(r);
             }
-            Err(e) => return (Err(e), total_attempts),
+            Err(e) => return (Err(e), total_attempts, dispatches),
         }
     }
     let mut r = last.expect("repeat >= 1");
@@ -154,7 +169,7 @@ fn run_repeated(
     if total_attempts > repeat as u32 {
         r = r.config("attempts", total_attempts);
     }
-    (Ok(r), total_attempts)
+    (Ok(r), total_attempts, dispatches)
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -264,6 +279,26 @@ fn list(reg: &Registry, json: bool, markdown: bool) {
     println!("\n{} workloads registered", reg.len());
 }
 
+/// Build and install a recorder for `--trace`/`profile`; returns the
+/// handle the caller drains after the run.
+fn install_recorder(args: &[String]) -> Arc<Recorder> {
+    let clock = match flag_value(args, "--trace-clock") {
+        None | Some("wall") => Clock::wall(),
+        Some("logical") => Clock::logical(),
+        Some(other) => {
+            eprintln!("bad --trace-clock `{other}` (wall | logical)");
+            std::process::exit(2);
+        }
+    };
+    let mut rec = Recorder::new(clock);
+    if has_flag(args, "--reuse") {
+        rec = rec.with_reuse();
+    }
+    let rec = Arc::new(rec);
+    obs::install(rec.clone());
+    rec
+}
+
 fn run(reg: &Registry, args: &[String]) {
     let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
         eprintln!("`harness run` needs a workload name (see `harness list`)");
@@ -276,8 +311,23 @@ fn run(reg: &Registry, args: &[String]) {
     let backend = parse_backend(args).unwrap_or_else(|| w.backends()[0]);
     let scale = parse_scale(args);
     let depth = parse_depth(args);
+    let trace_path = flag_value(args, "--trace").map(std::path::PathBuf::from);
+    let rec = trace_path.as_ref().map(|_| install_recorder(args));
     let cfg = RunCfg::with_depth(backend, scale, depth).with_limits(parse_limits(args));
-    match run_repeated(reg, name, cfg, parse_repeat(args)).0 {
+    let res = run_repeated(reg, name, cfg, parse_repeat(args)).0;
+    // Write the trace on success *and* failure: a trace of the run that
+    // panicked or timed out is exactly the one worth looking at.
+    if let (Some(path), Some(rec)) = (&trace_path, &rec) {
+        obs::uninstall();
+        match std::fs::write(path, rec.to_chrome_json()) {
+            Ok(()) => eprintln!("trace: {} events -> {}", rec.num_events(), path.display()),
+            Err(e) => {
+                eprintln!("cannot write trace {} ({e})", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    match res {
         Ok(report) => {
             if has_flag(args, "--json") {
                 println!("{}", report.to_json());
@@ -290,6 +340,134 @@ fn run(reg: &Registry, args: &[String]) {
             std::process::exit(1);
         }
     }
+}
+
+/// `harness profile <workload>`: run one cell with the observer installed
+/// and print the per-phase table the simulator's probe collected — writes
+/// (fills/write-backs) per level, DRAM traffic, memo rates, wall time.
+fn profile(reg: &Registry, args: &[String]) {
+    let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("`harness profile` needs a workload name (see `harness list`)");
+        std::process::exit(2);
+    };
+    let Some(w) = reg.get(name) else {
+        eprintln!("unknown workload `{name}` (see `harness list`)");
+        std::process::exit(2);
+    };
+    let backend = parse_backend(args).unwrap_or(BackendKind::Simmed);
+    if !w.supports(backend) {
+        eprintln!(
+            "`{name}` does not support backend `{}` (see `harness list`)",
+            backend.as_str()
+        );
+        std::process::exit(2);
+    }
+    let scale = parse_scale(args);
+    let depth = parse_depth(args);
+    let rec = install_recorder(args);
+    let cfg = RunCfg::with_depth(backend, scale, depth).with_limits(parse_limits(args));
+    let res = run_repeated(reg, name, cfg, 1).0;
+    obs::uninstall();
+    let report = match res {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let rows = rec.take_phase_rows();
+    println!(
+        "== profile {name} ({}, {}, depth {}) ==",
+        backend.as_str(),
+        scale.as_str(),
+        depth
+    );
+    if rows.is_empty() {
+        println!(
+            "no phase data: the `{}` backend runs without the cache \
+             simulator's probe (try --backend simmed)",
+            backend.as_str()
+        );
+        return;
+    }
+    print_phase_table(&rows);
+    if let Some((_, hist)) = report.config.iter().find(|(k, _)| k == "reuse_hist") {
+        println!("\nreuse-distance histogram (lines): {hist}");
+    }
+}
+
+/// Render the per-phase probe table: one row per phase, per-level fill and
+/// write-back line counts, DRAM lines, memo hit rate, wall time.
+fn print_phase_table(rows: &[PhaseRow]) {
+    let levels = rows.iter().map(|r| r.fills.len()).max().unwrap_or(0);
+    let mut header = format!("{:<14} {:>9} {:>12}", "phase", "wall_ms", "accesses");
+    for l in 0..levels {
+        header.push_str(&format!(
+            " {:>10} {:>10}",
+            format!("L{}fill", l + 1),
+            format!("L{}wb", l + 1)
+        ));
+    }
+    header.push_str(&format!(
+        " {:>10} {:>10} {:>8}",
+        "dram_rd", "dram_wr", "memo%"
+    ));
+    println!("{header}");
+    let mut total = PhaseRow {
+        phase: "total".to_string(),
+        wall_ns: 0,
+        accesses: 0,
+        fills: vec![0; levels],
+        writebacks: vec![0; levels],
+        dram_reads: 0,
+        dram_writes: 0,
+        memo_hits: 0,
+        memo_misses: 0,
+    };
+    for r in rows {
+        print_phase_row(r, levels);
+        total.wall_ns += r.wall_ns;
+        total.accesses += r.accesses;
+        for (t, v) in total.fills.iter_mut().zip(&r.fills) {
+            *t += v;
+        }
+        for (t, v) in total.writebacks.iter_mut().zip(&r.writebacks) {
+            *t += v;
+        }
+        total.dram_reads += r.dram_reads;
+        total.dram_writes += r.dram_writes;
+        total.memo_hits += r.memo_hits;
+        total.memo_misses += r.memo_misses;
+    }
+    println!("{}", "-".repeat(37 + 22 * levels + 30));
+    print_phase_row(&total, levels);
+}
+
+fn print_phase_row(r: &PhaseRow, levels: usize) {
+    let memo = r.memo_hits + r.memo_misses;
+    let rate = if memo == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}", 100.0 * r.memo_hits as f64 / memo as f64)
+    };
+    let mut line = format!(
+        "{:<14} {:>9.3} {:>12}",
+        r.phase,
+        r.wall_ns as f64 / 1e6,
+        r.accesses
+    );
+    for l in 0..levels {
+        line.push_str(&format!(
+            " {:>10} {:>10}",
+            r.fills.get(l).copied().unwrap_or(0),
+            r.writebacks.get(l).copied().unwrap_or(0)
+        ));
+    }
+    line.push_str(&format!(
+        " {:>10} {:>10} {:>8}",
+        r.dram_reads, r.dram_writes, rate
+    ));
+    println!("{line}");
 }
 
 /// Parse `--depth D` (default 1, the two-level model).
@@ -418,12 +596,18 @@ fn sweep(reg: &Registry, args: &[String]) {
     // finishes, so a killed sweep loses only the in-flight cells. With
     // --fail-fast, the first failure stops *scheduling* (in-flight cells
     // drain); skipped cells stay out of the journal and re-run on resume.
+    // On a terminal, a live progress line tracks completion and ETA.
     let abort = AtomicBool::new(false);
+    let live = std::io::stderr().is_terminal();
+    let done = AtomicUsize::new(0);
+    let failed_cells = AtomicUsize::new(0);
+    let started = Instant::now();
+    let total = scenarios.len();
     let results: Vec<CellResult> = par_map(&scenarios, threads, |s| {
         if fail_fast && abort.load(Ordering::Relaxed) {
             return None;
         }
-        let (res, attempts) = run_repeated(reg, s.name, s.cfg, repeat);
+        let (res, attempts, dispatches) = run_repeated(reg, s.name, s.cfg, repeat);
         let outcome = CellOutcome {
             key: s.key.clone(),
             workload: s.name.to_string(),
@@ -434,22 +618,35 @@ fn sweep(reg: &Registry, args: &[String]) {
                 .as_ref()
                 .map_or_else(|e| e.kind().to_string(), |_| "ok".to_string()),
             attempts,
+            retries_used: attempts.saturating_sub(dispatches),
             wall_ns: res.as_ref().map_or(0, |r| r.wall_ns),
             error: res.as_ref().err().map(|e| e.to_string()),
         };
         if let Err(e) = journal.record(&outcome) {
             eprintln!("journal write failed for {}: {e}", s.name);
         }
-        if res.is_err() && fail_fast {
-            abort.store(true, Ordering::Relaxed);
+        if res.is_err() {
+            failed_cells.fetch_add(1, Ordering::Relaxed);
+            if fail_fast {
+                abort.store(true, Ordering::Relaxed);
+            }
+        }
+        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if live {
+            let f = failed_cells.load(Ordering::Relaxed);
+            let eta = started.elapsed().as_secs_f64() / d as f64 * (total - d) as f64;
+            eprint!("\r[sweep] {d}/{total} done, {f} failed, ETA {eta:.0}s   ");
         }
         Some((outcome, res.ok()))
     });
+    if live {
+        eprintln!();
+    }
 
     let mut failures = 0usize;
     let mut skipped = 0usize;
     if csv {
-        println!("{},status", RunReport::CSV_HEADER);
+        println!("{},wall_ms,retries_used,status", RunReport::CSV_HEADER);
     } else if json {
         print!("[");
     }
@@ -461,19 +658,28 @@ fn sweep(reg: &Registry, args: &[String]) {
         };
         let failed = outcome.status != "ok";
         failures += failed as usize;
+        let wall_ms = outcome.wall_ns as f64 / 1e6;
         if csv {
             match report {
-                Some(r) => println!("{},{}", r.to_csv_row(), outcome.status),
+                Some(r) => println!(
+                    "{},{:.3},{},{}",
+                    r.to_csv_row(),
+                    wall_ms,
+                    outcome.retries_used,
+                    outcome.status
+                ),
                 None => {
                     // Same arity as the header: identity, 8 empty metric
-                    // columns, then the status.
-                    let empties = ",".repeat(8);
+                    // columns + empty wall_ms, then retries and status
+                    // (status stays the last column).
+                    let empties = ",".repeat(9);
                     println!(
-                        "{},{},{}{},{}",
+                        "{},{},{}{},{},{}",
                         outcome.workload,
                         outcome.backend.as_str(),
                         scale.as_str(),
                         empties,
+                        outcome.retries_used,
                         outcome.status
                     );
                 }
@@ -497,13 +703,15 @@ fn sweep(reg: &Registry, args: &[String]) {
             };
             print!(
                 "{{\"workload\":\"{}\",\"backend\":\"{}\",\"scale\":\"{}\",\"depth\":{},\
-                 \"status\":\"{}\",\"attempts\":{},{body}}}",
+                 \"status\":\"{}\",\"attempts\":{},\"retries_used\":{},\"wall_ms\":{wall_ms:.3},\
+                 {body}}}",
                 outcome.workload,
                 outcome.backend.as_str(),
                 scale.as_str(),
                 depth,
                 outcome.status,
-                outcome.attempts
+                outcome.attempts,
+                outcome.retries_used
             );
         } else if let Some(r) = report {
             print!("{}", r.render_text());
@@ -521,6 +729,14 @@ fn sweep(reg: &Registry, args: &[String]) {
     if json {
         println!("]");
     }
+    if let Some(path) = flag_value(args, "--metrics") {
+        let json = metrics_rollup(&results, skipped);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write metrics {path} ({e})");
+            std::process::exit(2);
+        }
+        eprintln!("metrics rollup -> {path}");
+    }
     eprintln!(
         "sweep complete: {} ok, {} failed, {} skipped{}",
         results.len() - failures - skipped,
@@ -535,6 +751,58 @@ fn sweep(reg: &Registry, args: &[String]) {
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+/// Aggregate a sweep's outcomes into the `--metrics` JSON rollup:
+/// per-status cell counts, attempt/retry totals, wall-time total, and the
+/// simulator's last-line-memo hit rate summed over every simmed report.
+fn metrics_rollup(results: &[CellResult], skipped: usize) -> String {
+    let mut status_counts: std::collections::BTreeMap<&str, u64> = Default::default();
+    let (mut ok, mut failed) = (0u64, 0u64);
+    let (mut attempts_total, mut retries_total) = (0u64, 0u64);
+    let mut wall_ns_total = 0u128;
+    let (mut memo_hits, mut memo_misses) = (0u64, 0u64);
+    for cell in results.iter().flatten() {
+        let (outcome, report) = cell;
+        *status_counts.entry(outcome.status.as_str()).or_insert(0) += 1;
+        if outcome.status == "ok" {
+            ok += 1;
+        } else {
+            failed += 1;
+        }
+        attempts_total += outcome.attempts as u64;
+        retries_total += outcome.retries_used as u64;
+        wall_ns_total += outcome.wall_ns;
+        if let Some(r) = report {
+            for (k, v) in &r.config {
+                match (k.as_str(), v.parse::<u64>()) {
+                    ("memo_hits", Ok(n)) => memo_hits += n,
+                    ("memo_misses", Ok(n)) => memo_misses += n,
+                    _ => {}
+                }
+            }
+        }
+    }
+    let statuses: Vec<String> = status_counts
+        .iter()
+        .map(|(k, v)| format!("\"{k}\":{v}"))
+        .collect();
+    let memo_total = memo_hits + memo_misses;
+    let memo_rate = if memo_total == 0 {
+        0.0
+    } else {
+        memo_hits as f64 / memo_total as f64
+    };
+    format!(
+        "{{\"cells\":{},\"ok\":{ok},\"failed\":{failed},\"skipped\":{skipped},\
+         \"status_counts\":{{{}}},\"attempts_total\":{attempts_total},\
+         \"retries_total\":{retries_total},\"wall_ms_total\":{:.3},\
+         \"memo_hits\":{memo_hits},\"memo_misses\":{memo_misses},\
+         \"memo_hit_rate\":{memo_rate:.6}}}\n",
+        ok + failed,
+        statuses.join(","),
+        wall_ns_total as f64 / 1e6
+    )
 }
 
 /// The legacy paper-artifact commands, verbatim from the pre-registry

@@ -14,7 +14,8 @@
 //!
 //! ```json
 //! {"key":"9f..","workload":"matmul-wa","backend":"explicit","scale":"small",
-//!  "depth":1,"status":"ok","attempts":1,"wall_ns":123456,"error":null}
+//!  "depth":1,"status":"ok","attempts":1,"retries_used":0,"wall_ns":123456,
+//!  "wall_ms":0.123,"error":null}
 //! ```
 //!
 //! `status` is `ok` or an [`wa_core::EngineError::kind`] tag
@@ -40,6 +41,9 @@ pub struct CellOutcome {
     pub status: String,
     /// Dispatch attempts consumed (retries included) across all repeats.
     pub attempts: u32,
+    /// Retries beyond the first attempt of each dispatch
+    /// (`attempts − dispatches`); nonzero only when the cell was faulty.
+    pub retries_used: u32,
     /// Median wall time of the successful run; 0 on failure.
     pub wall_ns: u128,
     /// Rendered error for failed cells.
@@ -55,7 +59,8 @@ impl CellOutcome {
         };
         format!(
             "{{\"key\":\"{}\",\"workload\":\"{}\",\"backend\":\"{}\",\"scale\":\"{}\",\
-             \"depth\":{},\"status\":\"{}\",\"attempts\":{},\"wall_ns\":{},\"error\":{}}}",
+             \"depth\":{},\"status\":\"{}\",\"attempts\":{},\"retries_used\":{},\
+             \"wall_ns\":{},\"wall_ms\":{:.3},\"error\":{}}}",
             self.key,
             escape(&self.workload),
             self.backend.as_str(),
@@ -63,7 +68,9 @@ impl CellOutcome {
             self.depth,
             escape(&self.status),
             self.attempts,
+            self.retries_used,
             self.wall_ns,
+            self.wall_ns as f64 / 1e6,
             error
         )
     }
@@ -160,6 +167,7 @@ mod tests {
             depth: 1,
             status: status.to_string(),
             attempts: 1,
+            retries_used: 0,
             wall_ns: 42,
             error: error.map(str::to_string),
         }
@@ -170,6 +178,8 @@ mod tests {
         let line = outcome("abc123", "panicked", Some("oh \"no\"\nnewline")).to_jsonl();
         assert!(line.starts_with("{\"key\":\"abc123\",\"workload\":\"matmul-wa\""));
         assert!(line.contains("\"status\":\"panicked\""));
+        assert!(line.contains("\"retries_used\":0"));
+        assert!(line.contains("\"wall_ms\":0.000"));
         assert!(line.contains("\\\"no\\\"\\nnewline"));
         let ok = outcome("abc123", "ok", None).to_jsonl();
         assert!(ok.ends_with("\"error\":null}"));

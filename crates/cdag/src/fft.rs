@@ -62,6 +62,7 @@ impl Complex {
 pub fn fft_mem<M: Mem>(mem: &mut M, base: usize, n: usize) {
     assert!(n.is_power_of_two(), "radix-2 FFT needs a power of two");
     // Bit-reversal permutation. Each complex element is one 2-word run.
+    mem.phase("bit-reversal");
     let bits = n.trailing_zeros();
     for i in 0..n {
         let j = (i as u64).reverse_bits().wrapping_shr(64 - bits) as usize;
@@ -75,6 +76,7 @@ pub fn fft_mem<M: Mem>(mem: &mut M, base: usize, n: usize) {
     }
     // Butterfly passes: the two operands and two results of each
     // butterfly move as 2-word (re, im) runs.
+    mem.phase("butterflies");
     let mut len = 2;
     while len <= n {
         let ang = -2.0 * std::f64::consts::PI / len as f64;

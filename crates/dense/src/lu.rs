@@ -117,6 +117,7 @@ pub fn blocked_lu<M: Mem>(mem: &mut M, a: MatDesc, bsize: usize, variant: LuVari
                 // before rows below consume it.
                 for j in 0..nb {
                     for k in 0..j.min(i) {
+                        mem.phase("update");
                         mm_kernel_sub(
                             mem,
                             a.block(j, k, bsize),
@@ -125,24 +126,30 @@ pub fn blocked_lu<M: Mem>(mem: &mut M, a: MatDesc, bsize: usize, variant: LuVari
                         );
                     }
                     if j < i {
+                        mem.phase("trsm");
                         trsm_lower_unit(mem, a.block(j, j, bsize), a.block(j, i, bsize));
                     }
                 }
+                mem.phase("panel");
                 lu_base(mem, a.block(i, i, bsize));
                 for j in i + 1..nb {
+                    mem.phase("trsm");
                     trsm_upper_right(mem, a.block(i, i, bsize), a.block(j, i, bsize));
                 }
             }
         }
         LuVariant::RightLooking => {
             for i in 0..nb {
+                mem.phase("panel");
                 lu_base(mem, a.block(i, i, bsize));
                 for j in i + 1..nb {
+                    mem.phase("trsm");
                     trsm_upper_right(mem, a.block(i, i, bsize), a.block(j, i, bsize));
                     trsm_lower_unit(mem, a.block(i, i, bsize), a.block(i, j, bsize));
                 }
                 for j in i + 1..nb {
                     for k in i + 1..nb {
+                        mem.phase("update");
                         mm_kernel_sub(
                             mem,
                             a.block(j, i, bsize),

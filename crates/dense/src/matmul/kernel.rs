@@ -23,6 +23,7 @@ pub fn mm_kernel<M: Mem>(mem: &mut M, a: MatDesc, b: MatDesc, c: MatDesc) {
     let mut brow = vec![0.0; b.cols];
     let mut crow = vec![0.0; c.cols];
     for i in 0..c.rows {
+        mem.phase("gemm-read");
         mem.ld_run(a.idx(i, 0), &mut arow);
         mem.ld_run(c.idx(i, 0), &mut crow);
         for (k, &aik) in arow.iter().enumerate() {
@@ -31,6 +32,7 @@ pub fn mm_kernel<M: Mem>(mem: &mut M, a: MatDesc, b: MatDesc, c: MatDesc) {
                 *cj += aik * bj;
             }
         }
+        mem.phase("c-write");
         mem.st_run(c.idx(i, 0), &crow);
     }
 }

@@ -20,18 +20,22 @@ pub fn external_merge_sort(data: &mut [f64], m: usize, fanout: usize, io: &mut S
     }
 
     // Pass 0: run formation.
-    for chunk in data.chunks_mut(m) {
-        chunk.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in sort input"));
+    {
+        let _span = wa_core::obs::span("run-formation", "extsort");
+        for chunk in data.chunks_mut(m) {
+            chunk.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in sort input"));
+        }
+        io.read(n);
+        io.write(n);
+        io.passes += 1;
     }
-    io.read(n);
-    io.write(n);
-    io.passes += 1;
 
     // Merge passes.
     let mut run_len = m;
     let mut src = data.to_vec();
     let mut dst = vec![0.0; n];
     while run_len < n {
+        let _span = wa_core::obs::span("merge-pass", "extsort");
         let group = run_len * fanout;
         let mut base = 0;
         while base < n {

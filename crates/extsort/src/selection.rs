@@ -25,6 +25,7 @@ pub fn low_write_sort(data: &mut [f64], m: usize, io: &mut SortIo) {
     let mut thr_emitted = 0usize;
 
     while emitted < n {
+        let _span = wa_core::obs::span("selection-pass", "extsort");
         // Fast-memory working set: up to m smallest candidates > threshold
         // (plus threshold duplicates not yet emitted).
         let mut batch: Vec<f64> = Vec::with_capacity(m + 1);

@@ -25,6 +25,7 @@ pub struct SolveResult {
 
 fn dot<S: IoSink>(a: &[f64], b: &[f64], va: usize, vb: usize, io: &mut S) -> f64 {
     // Two vector streams = two read runs (one message each).
+    io.phase("dot");
     io.read_at(va, a.len());
     io.read_at(vb, b.len());
     io.flop(2 * a.len());
@@ -90,6 +91,7 @@ pub fn cg<S: IoSink>(
 
     let mut iters = 0;
     while iters < max_iters && delta.sqrt() / bnorm > tol {
+        io.phase("spmv");
         a.spmv(&p, &mut w); // w = A p
         io.run(&[
             AccessRun::read(va, a.nnz()),
@@ -98,6 +100,7 @@ pub fn cg<S: IoSink>(
         ]);
         io.flop(2 * a.nnz());
         let alpha = delta / dot(&p, &w, vp, vw, io);
+        io.phase("vec-update");
         for i in 0..n {
             x[i] += alpha * p[i];
             r[i] -= alpha * w[i];
@@ -113,6 +116,7 @@ pub fn cg<S: IoSink>(
         io.flop(4 * n);
         let delta_new = dot(&r, &r, vr, vr, io);
         let beta = delta_new / delta;
+        io.phase("vec-update");
         for i in 0..n {
             p[i] = r[i] + beta * p[i];
         }

@@ -40,6 +40,10 @@ pub trait IoSink {
             }
         }
     }
+
+    /// Mark a profiling phase boundary (see [`memsim::Probe`]). No-op on
+    /// the tally; [`SimIo`] routes it to the simulator's probe.
+    fn phase(&mut self, _name: &'static str) {}
 }
 
 /// Slow-memory traffic of a Krylov solve (the `W12` of the paper's §8),
@@ -144,6 +148,10 @@ impl IoSink for SimIo {
 
     fn run(&mut self, runs: &[AccessRun]) {
         self.sim.run(runs);
+    }
+
+    fn phase(&mut self, name: &'static str) {
+        self.sim.phase(name);
     }
 }
 

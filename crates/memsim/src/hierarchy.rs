@@ -14,6 +14,7 @@
 //! (`LLC_VICTIMS.E`), and `fills` the DRAM→LLC reads (`LLC_S_FILLS.E`).
 
 use crate::cache::{CacheConfig, Level, LevelCounters, Touch, Victim};
+use crate::probe::{Probe, Snapshot};
 pub use wa_core::AccessRun;
 
 /// Multi-level cache simulator. See the module docs for semantics.
@@ -49,6 +50,20 @@ pub struct MemSim {
     /// Lines written back to DRAM (dirty LLC victims; includes flush if
     /// [`MemSim::flush`] is called).
     pub dram_writes_lines: u64,
+    /// Accesses served by the last-line memo (the PR-4 fast path),
+    /// including the bulk repeat-hits of `read_range`/`write_range`.
+    pub memo_hits: u64,
+    /// Accesses that took the full multi-level walk.
+    pub memo_misses: u64,
+    /// Optional per-phase observer (attached automatically by the
+    /// [`MemSim::single_level_lru`]/[`MemSim::stacked_lru`] constructors
+    /// when a [`wa_core::obs`] recorder is installed).
+    probe: Option<Box<Probe>>,
+    /// Cached `probe.has_reuse()` so the per-access hot path pays one
+    /// predictable bool test, not an `Option` chain.
+    probe_reuse: bool,
+    /// Phase marks seen; used to throttle trace counter-track emission.
+    phase_marks: u64,
 }
 
 impl MemSim {
@@ -75,6 +90,11 @@ impl MemSim {
             fast_path: true,
             dram_reads_lines: 0,
             dram_writes_lines: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+            probe: None,
+            probe_reuse: false,
+            phase_marks: 0,
         }
     }
 
@@ -108,7 +128,94 @@ impl MemSim {
                 policy: crate::policy::Policy::Lru,
             })
             .collect();
-        MemSim::new(&cfgs)
+        let mut sim = MemSim::new(&cfgs);
+        // These two constructors are the funnel every engine `simmed`
+        // backend builds through, so they are also the observability
+        // attach point: tracing/profiling needs no workload signature
+        // changes, and with no recorder installed the cost is one
+        // atomic load per simulator construction.
+        if wa_core::obs::is_active() {
+            sim.attach_probe(wa_core::obs::reuse_requested());
+        }
+        sim
+    }
+
+    /// Attach a per-phase [`Probe`] (optionally with the reuse-distance
+    /// histogram), replacing any existing one.
+    pub fn attach_probe(&mut self, reuse: bool) {
+        let mut p = Probe::new(self.levels.len());
+        if reuse {
+            p = p.with_reuse();
+        }
+        p.reset_start(self.snapshot());
+        self.probe = Some(Box::new(p));
+        self.probe_reuse = reuse;
+    }
+
+    /// The attached probe, if any.
+    pub fn probe(&self) -> Option<&Probe> {
+        self.probe.as_deref()
+    }
+
+    /// Cumulative counter state right now (what [`Probe`] deltas are
+    /// computed from).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            accesses: self.clock,
+            counters: self.levels.iter().map(|l| l.counters).collect(),
+            dram_reads: self.dram_reads_lines,
+            dram_writes: self.dram_writes_lines,
+            memo_hits: self.memo_hits,
+            memo_misses: self.memo_misses,
+        }
+    }
+
+    /// Mark a phase boundary: counter deltas and wall time from here on
+    /// are attributed to `name`. No-op without a probe (one branch), so
+    /// kernels can mark phases unconditionally in hot loops.
+    pub fn phase(&mut self, name: &str) {
+        if self.probe.is_none() {
+            return;
+        }
+        let snap = self.snapshot();
+        // Emit counter-track samples into the trace at phase boundaries,
+        // throttled by mark count (kernels mark thousands of times;
+        // count-based throttling keeps traces small *and* deterministic).
+        self.phase_marks += 1;
+        if self.phase_marks % 64 == 1 {
+            self.emit_counter_tracks();
+        }
+        self.probe.as_mut().unwrap().mark(name, snap);
+    }
+
+    /// Push one cumulative sample per counter track (per-level fills and
+    /// write-backs, DRAM reads/writes, memo hit/miss) to the installed
+    /// recorder, if any.
+    pub(crate) fn emit_counter_tracks(&self) {
+        let Some(rec) = wa_core::obs::active() else {
+            return;
+        };
+        for (i, l) in self.levels.iter().enumerate() {
+            let c = l.counters;
+            rec.counter(
+                &format!("memsim L{}", i + 1),
+                &[
+                    ("fills", c.fills),
+                    ("writebacks", c.victims_m + c.flush_victims_m),
+                ],
+            );
+        }
+        rec.counter(
+            "memsim DRAM",
+            &[
+                ("read_lines", self.dram_reads_lines),
+                ("write_lines", self.dram_writes_lines),
+            ],
+        );
+        rec.counter(
+            "memsim memo",
+            &[("hits", self.memo_hits), ("misses", self.memo_misses)],
+        );
     }
 
     pub fn num_levels(&self) -> usize {
@@ -189,6 +296,12 @@ impl MemSim {
                 let (_, slot) = self.memo.expect("access() always sets the memo");
                 self.clock += (in_line - 1) as u64;
                 self.levels[0].fast_hits(slot, (in_line - 1) as u64, is_write);
+                self.memo_hits += (in_line - 1) as u64;
+                if self.probe_reuse {
+                    if let Some(h) = self.probe.as_mut().and_then(|p| p.reuse_mut()) {
+                        h.record_repeats((in_line - 1) as u64);
+                    }
+                }
             }
             a = line_end;
         }
@@ -214,8 +327,20 @@ impl MemSim {
             if let Some((memo_line, slot)) = self.memo {
                 if memo_line == line {
                     self.levels[0].fast_hits(slot, 1, is_write);
+                    self.memo_hits += 1;
+                    if self.probe_reuse {
+                        if let Some(h) = self.probe.as_mut().and_then(|p| p.reuse_mut()) {
+                            h.record_repeats(1);
+                        }
+                    }
                     return;
                 }
+            }
+        }
+        self.memo_misses += 1;
+        if self.probe_reuse {
+            if let Some(h) = self.probe.as_mut().and_then(|p| p.reuse_mut()) {
+                h.touch(line);
             }
         }
 
@@ -283,6 +408,9 @@ impl MemSim {
     /// counters remain comparable to the paper's (cold-start, no-flush)
     /// runs.
     pub fn flush(&mut self) -> u64 {
+        // Attribute the drain's write-backs to their own phase, not to
+        // whatever kernel phase happened to be current.
+        self.phase("(flush)");
         let n = self.levels.len();
         let mut flushed = 0;
         // Residency is about to change wholesale; the last-line memo
@@ -550,6 +678,70 @@ mod tests {
         }
         assert_eq!(fast.dram_reads_lines, refr.dram_reads_lines);
         assert_eq!(fast.dram_writes_lines, refr.dram_writes_lines);
+    }
+
+    #[test]
+    fn memo_counters_pin_a_known_access_pattern() {
+        // read_range(0, 16) over 8-word lines: 2 lines, so 2 full walks
+        // (one per line boundary) and 14 bulk repeat-hits.
+        let mut m = MemSim::single_level_lru(64);
+        m.read_range(0, 16);
+        assert_eq!(m.memo_misses, 2);
+        assert_eq!(m.memo_hits, 14);
+        // Re-reading the same first word is a memo hit (same line as the
+        // last access? no — last access ended on line 1): word 0 walks.
+        m.read(0);
+        assert_eq!(m.memo_misses, 3);
+        // Hammering the same word now memo-hits every time.
+        for _ in 0..5 {
+            m.read(0);
+        }
+        assert_eq!(m.memo_hits, 19);
+        assert_eq!(m.memo_misses, 3);
+        // Flush invalidates the memo: the next access walks again.
+        m.flush();
+        m.read(0);
+        assert_eq!(m.memo_misses, 4);
+        // Every access is either a memo hit or a walk.
+        assert_eq!(m.memo_hits + m.memo_misses, 16 + 1 + 5 + 1);
+    }
+
+    #[test]
+    fn attached_probe_attributes_phases_and_reuse_through_the_sim() {
+        let mut m = MemSim::single_level_lru(64);
+        m.attach_probe(true);
+        m.read_range(0, 16); // (init): 16 accesses, 2 fills
+        m.phase("writes");
+        m.write_range(0, 8); // line 0 still resident: no fill, gets dirty
+        m.flush(); // "(flush)" phase owns the write-back
+        let rows = m.probe().unwrap().finalized(m.snapshot());
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        assert_eq!(get("(init)").accesses, 16);
+        assert_eq!(get("(init)").fills, vec![2]);
+        assert_eq!(get("(init)").dram_reads, 2);
+        assert_eq!(get("writes").accesses, 8);
+        assert_eq!(get("writes").fills, vec![0]);
+        assert_eq!(get("writes").dram_writes, 0, "dirty line still cached");
+        // The drain's write-back is attributed to the "(flush)" phase.
+        assert_eq!(get("(flush)").accesses, 0);
+        assert_eq!(get("(flush)").dram_writes, 1);
+        assert_eq!(get("(flush)").writebacks, vec![1]);
+        assert_eq!(m.dram_writes_lines, 1);
+        // Reuse histogram: 2 cold line touches (+1 re-walk at the line-0
+        // boundary of the write span), 14 + 7 bulk repeats.
+        let h = m.probe().unwrap().reuse().unwrap();
+        assert_eq!(h.cold, 2);
+        assert_eq!(h.buckets[0], 21);
+        assert_eq!(h.total(), 24);
+    }
+
+    #[test]
+    fn phase_marks_without_probe_are_no_ops() {
+        let mut m = MemSim::single_level_lru(64);
+        m.phase("ignored");
+        m.read(0);
+        assert!(m.probe().is_none());
+        assert_eq!(m.llc().misses, 1);
     }
 
     #[test]

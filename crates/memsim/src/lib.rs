@@ -23,6 +23,11 @@
 //!   Belady simulator used to sanity-check it.
 //! * [`xeon`] — ready-made hierarchy configurations: the scaled Xeon 7560
 //!   geometry used by all Figure 2 / Figure 5 reproductions.
+//! * [`probe`] — the optional per-phase observer ([`probe::Probe`]) and
+//!   reuse-distance histogram behind `harness profile`/`--trace`:
+//!   attached automatically by the shared [`MemSim::single_level_lru`] /
+//!   [`MemSim::stacked_lru`] constructors when a [`wa_core::obs`]
+//!   recorder is installed.
 
 pub mod cache;
 pub mod explicit;
@@ -30,6 +35,7 @@ pub mod hierarchy;
 pub mod ideal;
 pub mod mem;
 pub mod policy;
+pub mod probe;
 pub mod report;
 pub mod writebuffer;
 pub mod xeon;
@@ -39,5 +45,6 @@ pub use explicit::ExplicitHier;
 pub use hierarchy::{AccessRun, MemSim};
 pub use mem::{Mem, RawMem, SimMem, TraceMem};
 pub use policy::Policy;
+pub use probe::{PhaseStats, Probe, ReuseHist};
 pub use report::{explicit_report, memsim_report};
 pub use xeon::LINE_WORDS;

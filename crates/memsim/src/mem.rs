@@ -48,6 +48,11 @@ pub trait Mem {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Mark a profiling phase boundary (see [`crate::probe::Probe`]).
+    /// No-op by default, so kernels can mark phases unconditionally;
+    /// [`SimMem`] routes it to the simulator's probe.
+    fn phase(&mut self, _name: &'static str) {}
 }
 
 /// Forwarding impl so code generic over `M: Mem` can also run through a
@@ -76,6 +81,11 @@ impl<M: Mem + ?Sized> Mem for &mut M {
 
     fn len(&self) -> usize {
         (**self).len()
+    }
+
+    #[inline]
+    fn phase(&mut self, name: &'static str) {
+        (**self).phase(name)
     }
 }
 
@@ -168,6 +178,11 @@ impl Mem for SimMem {
 
     fn len(&self) -> usize {
         self.data.len()
+    }
+
+    #[inline]
+    fn phase(&mut self, name: &'static str) {
+        self.sim.phase(name);
     }
 }
 

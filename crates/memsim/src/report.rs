@@ -91,7 +91,37 @@ pub fn memsim_report(sim: &MemSim, report: RunReport) -> RunReport {
         .config("llc_misses", llc.misses)
         .config("llc_victims_m", llc.victims_m)
         .config("llc_victims_e", llc.victims_e)
-        .config("llc_flush_victims_m", llc.flush_victims_m);
+        .config("llc_flush_victims_m", llc.flush_victims_m)
+        .config("memo_hits", sim.memo_hits)
+        .config("memo_misses", sim.memo_misses);
+    if let Some(p) = sim.probe() {
+        let phases = p.finalized(sim.snapshot());
+        if let Some(h) = p.reuse() {
+            r = r.config("reuse_hist", h.render());
+        }
+        if let Some(rec) = wa_core::obs::active() {
+            // Close every counter track on the run's final totals and
+            // hand the per-phase table to the recorder for `profile`.
+            sim.emit_counter_tracks();
+            rec.push_phase_rows(
+                phases
+                    .iter()
+                    .map(|p| wa_core::obs::PhaseRow {
+                        phase: p.name.clone(),
+                        wall_ns: p.wall_ns,
+                        accesses: p.accesses,
+                        fills: p.fills.clone(),
+                        writebacks: p.writebacks.clone(),
+                        dram_reads: p.dram_reads,
+                        dram_writes: p.dram_writes,
+                        memo_hits: p.memo_hits,
+                        memo_misses: p.memo_misses,
+                    })
+                    .collect(),
+            );
+        }
+        r = r.note(format!("probe: {} phase(s) observed", phases.len()));
+    }
     r
 }
 
@@ -144,8 +174,31 @@ mod tests {
         assert_eq!(r.boundaries[0].load_words, 16 * 8);
         assert_eq!(r.boundaries[0].store_words, 16 * 8);
         assert_eq!(r.writes_to_slow(), 128);
-        // Config echo carries the raw counters.
+        // Config echo carries the raw counters, memo rates included.
         assert!(r.config.iter().any(|(k, v)| k == "llc_misses" && v == "16"));
+        assert!(r
+            .config
+            .iter()
+            .any(|(k, v)| k == "memo_misses" && v == "16"));
+        assert!(r.config.iter().any(|(k, v)| k == "memo_hits" && v == "0"));
+    }
+
+    #[test]
+    fn probe_phase_table_reaches_the_report_notes() {
+        let mut sim = MemSim::single_level_lru(64);
+        sim.attach_probe(true);
+        sim.read_range(0, 32);
+        sim.phase("tail");
+        sim.write_range(0, 8);
+        let r = memsim_report(&sim, blank(BackendKind::Simmed));
+        assert!(r.notes.iter().any(|n| n.contains("phase(s) observed")));
+        assert!(
+            r.config
+                .iter()
+                .any(|(k, v)| k == "reuse_hist" && v.contains("cold=4")),
+            "config: {:?}",
+            r.config
+        );
     }
 
     #[test]

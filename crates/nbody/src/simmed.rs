@@ -61,9 +61,11 @@ pub fn simmed_nbody_wa<M: Mem>(mem: &mut M, n: usize, b: usize) {
         let bi = b.min(n - i);
         // Initialize force accumulators (R2 residency: first touch is a
         // write).
+        mem.phase("force-init");
         for ii in i..i + bi {
             mem.st_run(force_base(n, ii), &[0.0; 3]);
         }
+        mem.phase("force-sweep");
         let mut j = 0;
         while j < n {
             let bj = b.min(n - j);

@@ -45,19 +45,23 @@ pub fn summa(m: &mut Machine, a: &Mat, b: &Mat, q: usize, panel: usize, at: Stag
     while ks < n {
         let ke = (ks + panel).min(n);
         let w = (ke - ks) as u64;
-        // The grid column owning this panel of A broadcasts along rows;
-        // the grid row owning the B panel broadcasts along columns.
-        let owner_col = ks / nb;
-        let owner_row = ks / nb;
-        for i in 0..q {
-            let parties: Vec<usize> = (0..q).map(|j| id(i, j)).collect();
-            charge_bcast(m, id(i, owner_col), &parties, nb as u64 * w, at);
-        }
-        for j in 0..q {
-            let parties: Vec<usize> = (0..q).map(|i| id(i, j)).collect();
-            charge_bcast(m, id(owner_row, j), &parties, w * nb as u64, at);
+        {
+            let _span = wa_core::obs::span("panel-bcast", "summa");
+            // The grid column owning this panel of A broadcasts along rows;
+            // the grid row owning the B panel broadcasts along columns.
+            let owner_col = ks / nb;
+            let owner_row = ks / nb;
+            for i in 0..q {
+                let parties: Vec<usize> = (0..q).map(|j| id(i, j)).collect();
+                charge_bcast(m, id(i, owner_col), &parties, nb as u64 * w, at);
+            }
+            for j in 0..q {
+                let parties: Vec<usize> = (0..q).map(|i| id(i, j)).collect();
+                charge_bcast(m, id(owner_row, j), &parties, w * nb as u64, at);
+            }
         }
         // Local multiply-accumulate on every processor.
+        let _span = wa_core::obs::span("local-gemm", "summa");
         for i in 0..q {
             for j in 0..q {
                 gemm_into(&mut local_c[id(i, j)], a, b, (i * nb, j * nb), (ks, ke));

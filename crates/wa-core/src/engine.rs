@@ -647,11 +647,14 @@ impl Registry {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
+            let attempt_span = crate::obs::span("attempt", "engine");
             let fault = self.fault_plan.as_ref().and_then(|p| p.on_invocation(name));
             let res = run_guarded(Arc::clone(w), name, cfg, fault);
+            drop(attempt_span);
             match res {
                 Ok(r) => return (Ok(r), attempt),
                 Err(e) if e.is_retriable() && attempt < max_attempts => {
+                    let _backoff = crate::obs::span("backoff", "engine");
                     std::thread::sleep(backoff_delay(hash, attempt));
                 }
                 Err(e) => return (Err(e), attempt),
@@ -672,6 +675,7 @@ fn run_guarded(
     let Some(deadline) = cfg.limits.timeout else {
         return execute_contained(&*w, name, cfg, fault);
     };
+    crate::obs::instant("watchdog:arm", "engine");
     let (tx, rx) = mpsc::channel();
     let owned = name.to_string();
     let t0 = Instant::now();
@@ -684,17 +688,29 @@ fn run_guarded(
         .expect("spawn cell worker thread");
     match rx.recv_timeout(deadline) {
         Ok(r) => r,
-        Err(mpsc::RecvTimeoutError::Timeout) => Err(EngineError::TimedOut {
-            workload: name.to_string(),
-            elapsed: t0.elapsed(),
-            deadline,
-        }),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            crate::obs::instant("watchdog:fire", "engine");
+            Err(EngineError::TimedOut {
+                workload: name.to_string(),
+                elapsed: t0.elapsed(),
+                deadline,
+            })
+        }
         // Unreachable in practice: execute_contained never unwinds, so
         // the sender is dropped only after a send.
         Err(mpsc::RecvTimeoutError::Disconnected) => Err(EngineError::Panicked {
             workload: name.to_string(),
             payload: "cell worker thread vanished".to_string(),
         }),
+    }
+}
+
+/// Trace-instant name for an injected fault.
+fn fault_tag(f: FaultKind) -> &'static str {
+    match f {
+        FaultKind::Panic => "fault:panic",
+        FaultKind::Stall(_) => "fault:stall",
+        FaultKind::Corrupt => "fault:corrupt",
     }
 }
 
@@ -707,6 +723,12 @@ fn execute_contained(
     fault: Option<FaultKind>,
 ) -> Result<RunReport, EngineError> {
     let unwound = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        // The guard closes the span on every exit from this closure,
+        // including the unwind of an (injected or genuine) panic.
+        let _run_span = crate::obs::span("run", "engine");
+        if let Some(f) = fault {
+            crate::obs::instant(fault_tag(f), "engine");
+        }
         match fault {
             Some(FaultKind::Panic) => panic!("fault-injected panic in `{name}`"),
             Some(FaultKind::Stall(d)) => std::thread::sleep(d),

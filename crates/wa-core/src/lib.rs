@@ -29,13 +29,18 @@
 //!   unavailable in the offline build environment);
 //! * [`fault`] — deterministic fault injection (panic / stall / counter
 //!   corruption on a workload's Nth invocation), the rig that exercises
-//!   the engine's containment, deadline, and retry machinery.
+//!   the engine's containment, deadline, and retry machinery;
+//! * [`obs`] — the zero-cost-when-off span/event recorder behind
+//!   `harness run --trace` and `harness profile`: the engine and `par`
+//!   emit spans/occupancy into it, `memsim` probes emit counter tracks
+//!   and per-phase rows, and it serializes Chrome trace-event JSON.
 
 pub mod bounds;
 pub mod cost;
 pub mod engine;
 pub mod fault;
 pub mod matrix;
+pub mod obs;
 pub mod par;
 pub mod report;
 pub mod rng;

@@ -19,6 +19,23 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Run `f` bracketed by worker-occupancy counter samples on the installed
+/// [`crate::obs`] recorder (a `workers_busy` track in the trace). With no
+/// recorder installed this is exactly `f()`.
+fn with_occupancy<R>(busy: &AtomicUsize, f: impl FnOnce() -> R) -> R {
+    match crate::obs::active() {
+        None => f(),
+        Some(rec) => {
+            let n = busy.fetch_add(1, Ordering::Relaxed) + 1;
+            rec.counter("workers_busy", &[("busy", n as u64)]);
+            let r = f();
+            let n = busy.fetch_sub(1, Ordering::Relaxed) - 1;
+            rec.counter("workers_busy", &[("busy", n as u64)]);
+            r
+        }
+    }
+}
+
 /// Number of workers to use when the caller does not care: the machine's
 /// available parallelism, capped by the number of items.
 pub fn default_threads(items: usize) -> usize {
@@ -61,8 +78,12 @@ where
         std::panic::catch_unwind(AssertUnwindSafe(|| f(item))).map_err(panic_payload_message)
     };
     let workers = threads.clamp(1, n);
+    let busy = AtomicUsize::new(0);
     if workers == 1 {
-        return items.iter().map(guarded).collect();
+        return items
+            .iter()
+            .map(|item| with_occupancy(&busy, || guarded(item)))
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -74,7 +95,7 @@ where
                 if i >= n {
                     break;
                 }
-                let r = guarded(&items[i]);
+                let r = with_occupancy(&busy, || guarded(&items[i]));
                 *slots[i].lock().unwrap() = Some(r);
             });
         }
