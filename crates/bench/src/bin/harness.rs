@@ -19,12 +19,23 @@
 //!     per-phase table: accesses, per-level fills/write-backs, DRAM
 //!     lines, memo hit rate, wall time per kernel-marked phase.
 //!
+//! harness curve <workload> [--capacities a,b,c|--geometric lo:hi:steps]
+//!               [--scale S] [--json|--csv]
+//!     One stack-backend pass over the workload's access stream, then
+//!     project exact FA-LRU fills/write-backs at every requested
+//!     capacity (words). Default ladder: powers of two from one line to
+//!     the footprint. The trace is simulated ONCE regardless of how many
+//!     capacities are asked for (Mattson stack distances).
+//!
 //! harness sweep [--group G] [--backend B] [--scale S] [--depth D]
-//!               [--threads N] [--json|--csv]
+//!               [--threads N] [--curve] [--json|--csv]
 //!     Run every (workload, backend) scenario — optionally filtered by
 //!     group or backend, restricted at depth D > 1 to the cells that
 //!     model that depth — in parallel across N worker threads (default:
 //!     available parallelism). `--json` emits a JSON array of RunReports.
+//!     `--curve` sweeps only the stack-backend cells: each workload's
+//!     whole capacity curve from a single pass instead of per-capacity
+//!     re-runs.
 //!
 //! harness exp <command> [--scale small|paper] [--policy P]
 //!     The paper-artifact reproductions (figures/tables); `exp all` runs
@@ -63,6 +74,7 @@ fn main() {
         ),
         "run" => run(&faulted_registry(rest), rest),
         "profile" => profile(&faulted_registry(rest), rest),
+        "curve" => curve(&faulted_registry(rest), rest),
         "sweep" => sweep(&faulted_registry(rest), rest),
         "exp" => exp(rest),
         "help" | "--help" | "-h" => usage(0),
@@ -75,7 +87,7 @@ fn main() {
 
 fn usage(code: i32) -> ! {
     eprintln!(
-        "usage:\n  harness list [--json|--markdown]\n  harness run <workload> [--backend B] [--scale S] [--depth D] [--repeat N] [--timeout SECS] [--retries N]\n                [--trace PATH] [--trace-clock wall|logical] [--reuse] [--json]\n  harness profile <workload> [--backend B] [--scale S] [--depth D] [--reuse]\n  harness sweep [--group G] [--backend B] [--scale S] [--depth D] [--threads N] [--repeat N]\n                [--timeout SECS] [--retries N] [--fail-fast] [--journal PATH] [--resume]\n                [--metrics PATH] [--json|--csv]\n  harness exp <command> [--scale small|paper] [--policy P]   (exp all = every paper artifact)\n\n  --depth D        hierarchy depth (cache levels) for traffic-counting backends; default 1\n  --repeat N       run each scenario N times; the report carries the median wall time\n  --timeout SECS   per-cell wall-clock deadline (float seconds); overruns become `timed-out`\n  --retries N      re-attempt panicked/timed-out/retriable cells N times (deterministic backoff)\n  --trace PATH     run only: write a Chrome trace-event JSON (engine spans + simulator\n                   counter tracks); open in Perfetto or chrome://tracing\n  --trace-clock C  wall (default, microseconds) or logical (deterministic event ticks)\n  --reuse          run/profile: also collect the simulator's reuse-distance histogram\n  --fail-fast      sweep only: stop scheduling new cells after the first failure\n  --journal PATH   sweep only: per-cell JSONL journal (default sweep.journal.jsonl)\n  --resume         sweep only: skip cells the journal already records as ok; append new outcomes\n  --metrics PATH   sweep only: write a JSON rollup (failure counts per kind, retry and\n                   wall-time totals, cache-memo rates)\n  --fault-plan S   deterministic fault injection, e.g. `matmul-wa:panic@1,lu-wa:stall=2000`\n                   (also via env WA_FAULT_PLAN); kinds: panic | corrupt | stall=MS\n  --csv            sweep only: one CSV row per scenario (RunReport::CSV_HEADER +\n                   wall_ms,retries_used,status)\n  --markdown       list only: the README workload×backend support table\n\nexit codes: 0 = all cells ok, 1 = at least one cell failed, 2 = usage/config error"
+        "usage:\n  harness list [--json|--markdown]\n  harness run <workload> [--backend B] [--scale S] [--depth D] [--repeat N] [--timeout SECS] [--retries N]\n                [--trace PATH] [--trace-clock wall|logical] [--reuse] [--json]\n  harness profile <workload> [--backend B] [--scale S] [--depth D] [--reuse]\n  harness curve <workload> [--capacities W,W,...|--geometric LO:HI:STEPS] [--scale S] [--json|--csv]\n  harness sweep [--group G] [--backend B] [--scale S] [--depth D] [--threads N] [--repeat N]\n                [--timeout SECS] [--retries N] [--fail-fast] [--journal PATH] [--resume]\n                [--metrics PATH] [--curve] [--json|--csv]\n  harness exp <command> [--scale small|paper] [--policy P]   (exp all = every paper artifact)\n\n  --depth D        hierarchy depth (cache levels) for traffic-counting backends; default 1\n  --capacities W,… curve only: comma-separated fast-memory capacities in words\n  --geometric L:H:S curve only: S capacities geometrically spaced from L to H words\n  --curve          sweep only: stack-backend cells only — every workload's full capacity\n                   curve from one simulation pass (no per-capacity re-runs)\n  --repeat N       run each scenario N times; the report carries the median wall time\n  --timeout SECS   per-cell wall-clock deadline (float seconds); overruns become `timed-out`\n  --retries N      re-attempt panicked/timed-out/retriable cells N times (deterministic backoff)\n  --trace PATH     run only: write a Chrome trace-event JSON (engine spans + simulator\n                   counter tracks); open in Perfetto or chrome://tracing\n  --trace-clock C  wall (default, microseconds) or logical (deterministic event ticks)\n  --reuse          run/profile: also collect the simulator's reuse-distance histogram\n  --fail-fast      sweep only: stop scheduling new cells after the first failure\n  --journal PATH   sweep only: per-cell JSONL journal (default sweep.journal.jsonl)\n  --resume         sweep only: skip cells the journal already records as ok; append new outcomes\n  --metrics PATH   sweep only: write a JSON rollup (failure counts per kind, retry and\n                   wall-time totals, cache-memo rates)\n  --fault-plan S   deterministic fault injection, e.g. `matmul-wa:panic@1,lu-wa:stall=2000`\n                   (also via env WA_FAULT_PLAN); kinds: panic | corrupt | stall=MS\n  --csv            sweep only: one CSV row per scenario (RunReport::CSV_HEADER +\n                   wall_ms,retries_used,status)\n  --markdown       list only: the README workload×backend support table\n\nexit codes: 0 = all cells ok, 1 = at least one cell failed, 2 = usage/config error"
     );
     std::process::exit(code);
 }
@@ -196,7 +208,7 @@ fn parse_scale(args: &[String]) -> Scale {
 fn parse_backend(args: &[String]) -> Option<BackendKind> {
     flag_value(args, "--backend").map(|s| {
         BackendKind::parse(s).unwrap_or_else(|| {
-            eprintln!("bad --backend `{s}` (raw | simmed | traced | explicit)");
+            eprintln!("bad --backend `{s}` (raw | simmed | traced | explicit | stack)");
             std::process::exit(2);
         })
     })
@@ -224,17 +236,18 @@ fn superscript(d: usize) -> char {
 
 fn list(reg: &Registry, json: bool, markdown: bool) {
     if markdown {
-        println!("| workload | group | raw | simmed | traced | explicit |");
-        println!("|----------|-------|:---:|:------:|:------:|:--------:|");
+        println!("| workload | group | raw | simmed | traced | explicit | stack |");
+        println!("|----------|-------|:---:|:------:|:------:|:--------:|:-----:|");
         for w in reg.iter() {
             println!(
-                "| `{}` | {} | {} | {} | {} | {} |",
+                "| `{}` | {} | {} | {} | {} | {} | {} |",
                 w.name(),
                 w.group(),
                 md_cell(w, BackendKind::Raw),
                 md_cell(w, BackendKind::Simmed),
                 md_cell(w, BackendKind::Traced),
                 md_cell(w, BackendKind::Explicit),
+                md_cell(w, BackendKind::Stack),
             );
         }
         return;
@@ -470,6 +483,137 @@ fn print_phase_row(r: &PhaseRow, levels: usize) {
     println!("{line}");
 }
 
+/// Parse the `curve` capacity list: `--capacities a,b,c` (words) or
+/// `--geometric lo:hi:steps`; `None` means the curve's default ladder.
+fn parse_capacities(args: &[String]) -> Option<Vec<u64>> {
+    if let Some(spec) = flag_value(args, "--capacities") {
+        let caps: Vec<u64> = spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&c| c > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("bad --capacities `{spec}` (comma-separated positive words)");
+                        std::process::exit(2);
+                    })
+            })
+            .collect();
+        return Some(caps);
+    }
+    if let Some(spec) = flag_value(args, "--geometric") {
+        let bad = || -> ! {
+            eprintln!("bad --geometric `{spec}` (LO:HI:STEPS with 0 < LO <= HI, STEPS >= 2)");
+            std::process::exit(2);
+        };
+        let parts: Vec<u64> = spec
+            .split(':')
+            .map(|s| s.trim().parse::<u64>().unwrap_or_else(|_| bad()))
+            .collect();
+        let [lo, hi, steps] = parts[..] else { bad() };
+        if lo == 0 || hi < lo || steps < 2 {
+            bad();
+        }
+        let ratio = (hi as f64 / lo as f64).powf(1.0 / (steps - 1) as f64);
+        let mut caps: Vec<u64> = (0..steps)
+            .map(|i| (lo as f64 * ratio.powi(i as i32)).round() as u64)
+            .collect();
+        *caps.last_mut().expect("steps >= 2") = hi;
+        caps.dedup();
+        return Some(caps);
+    }
+    None
+}
+
+/// `harness curve <workload>`: one stack-backend pass, projected at every
+/// requested capacity. The kernel runs once however many capacities are
+/// asked for — that is the point of the Mattson stack backend.
+fn curve(reg: &Registry, args: &[String]) {
+    let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("`harness curve` needs a workload name (see `harness list`)");
+        std::process::exit(2);
+    };
+    let Some(w) = reg.get(name) else {
+        eprintln!("unknown workload `{name}` (see `harness list`)");
+        std::process::exit(2);
+    };
+    if !w.supports(BackendKind::Stack) {
+        eprintln!(
+            "`{name}` does not support the stack backend (see `harness list`); \
+             only access-driven workloads can be stack-simulated"
+        );
+        std::process::exit(2);
+    }
+    let scale = parse_scale(args);
+    let cfg = RunCfg::with_depth(BackendKind::Stack, scale, 1).with_limits(parse_limits(args));
+    let report = match run_repeated(reg, name, cfg, parse_repeat(args)).0 {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let curve = report
+        .curve
+        .as_ref()
+        .expect("stack-backend reports always carry a curve");
+    let caps = parse_capacities(args).unwrap_or_else(|| curve.default_ladder());
+    if has_flag(args, "--json") {
+        println!("{}", curve.to_json(&caps));
+        return;
+    }
+    if has_flag(args, "--csv") {
+        println!(
+            "capacity_words,capacity_lines,fills,writebacks,flush_writebacks,\
+             dram_reads_lines,dram_writes_lines,hits,misses"
+        );
+        for p in curve.points(&caps) {
+            println!(
+                "{},{},{},{},{},{},{},{},{}",
+                p.capacity_words,
+                p.capacity_lines,
+                p.fills,
+                p.writebacks,
+                p.flush_writebacks,
+                p.dram_reads_lines(),
+                p.dram_writes_lines(),
+                p.hits,
+                p.misses
+            );
+        }
+        return;
+    }
+    println!(
+        "== capacity curve: {name} ({}, one stack pass, {} word accesses over {} lines) ==",
+        scale.as_str(),
+        curve.word_accesses,
+        curve.footprint_lines
+    );
+    println!(
+        "{:>14} {:>10} {:>12} {:>12} {:>10} {:>12} {:>12} {:>8}",
+        "cap_words", "cap_lines", "fills", "writebacks", "flush_wb", "dram_rd", "dram_wr", "miss%"
+    );
+    for p in curve.points(&caps) {
+        let miss = if curve.word_accesses == 0 {
+            0.0
+        } else {
+            100.0 * p.misses as f64 / curve.word_accesses as f64
+        };
+        println!(
+            "{:>14} {:>10} {:>12} {:>12} {:>10} {:>12} {:>12} {:>8.3}",
+            p.capacity_words,
+            p.capacity_lines,
+            p.fills,
+            p.writebacks,
+            p.flush_writebacks,
+            p.dram_reads_lines(),
+            p.dram_writes_lines(),
+            miss
+        );
+    }
+}
+
 /// Parse `--depth D` (default 1, the two-level model).
 fn parse_depth(args: &[String]) -> usize {
     match flag_value(args, "--depth") {
@@ -496,7 +640,17 @@ type CellResult = Option<(CellOutcome, Option<RunReport>)>;
 
 fn sweep(reg: &Registry, args: &[String]) {
     let scale = parse_scale(args);
-    let only_backend = parse_backend(args);
+    // --curve restricts the sweep to stack-backend cells: one pass per
+    // workload yields its whole capacity curve, so there is nothing to
+    // gain from re-running the same cell at other simulated capacities.
+    let only_backend = match (parse_backend(args), has_flag(args, "--curve")) {
+        (Some(b), true) if b != BackendKind::Stack => {
+            eprintln!("--curve sweeps the stack backend; drop --backend or pass --backend stack");
+            std::process::exit(2);
+        }
+        (_, true) => Some(BackendKind::Stack),
+        (b, false) => b,
+    };
     let only_group = flag_value(args, "--group");
     let json = has_flag(args, "--json");
     let csv = has_flag(args, "--csv");

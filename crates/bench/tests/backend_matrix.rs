@@ -141,6 +141,32 @@ fn check_schema(r: &RunReport, name: &str, backend: BackendKind, depth: usize) {
                 assert_eq!(r.boundaries.len(), depth, "{ctx}: boundaries == depth");
             }
         }
+        BackendKind::Stack => {
+            // The stack backend models exactly one fast↔slow boundary (it
+            // is a depth-1 projection) and must carry the capacity curve.
+            assert_eq!(r.boundaries.len(), 1, "{ctx}: one projected boundary");
+            assert_eq!(
+                r.writes_per_level.len(),
+                2,
+                "{ctx}: one writes-per-level entry per level"
+            );
+            let curve = r.curve.as_ref().unwrap_or_else(|| panic!("{ctx}: curve"));
+            assert!(
+                r.to_json().contains("\"curve\":{\"line_words\":"),
+                "{ctx}: JSON curve key"
+            );
+            // Fills are non-increasing in capacity along the default
+            // ladder (the stack property, surfaced to every consumer).
+            let fills: Vec<u64> = curve
+                .points(&curve.default_ladder())
+                .iter()
+                .map(|p| p.fills)
+                .collect();
+            assert!(
+                fills.windows(2).all(|w| w[0] >= w[1]),
+                "{ctx}: fills must be monotone non-increasing, got {fills:?}"
+            );
+        }
         BackendKind::Raw | BackendKind::Traced => {
             assert!(r.boundaries.is_empty(), "{ctx}: no modeled hierarchy");
         }
@@ -260,6 +286,38 @@ fn explicit_and_simmed_writes_agree_on_every_dual_backend_cell() {
             }
         }
     }
+}
+
+/// The single-pass stack backend is not an approximation: on every
+/// workload that also advertises the cache simulator, its projection at
+/// the cell's fast-memory capacity must equal the flushed depth-1
+/// simulator *exactly* — words, messages, loads and stores alike — at
+/// both scales. No tolerance table: FA-LRU obeys the stack property.
+#[test]
+fn stack_projection_equals_flushed_simmed_exactly_everywhere() {
+    let reg = registry();
+    let mut cells = 0usize;
+    for w in reg.iter() {
+        if !(w.supports(BackendKind::Stack) && w.supports(BackendKind::Simmed)) {
+            continue;
+        }
+        for scale in [Scale::Small, Scale::Paper] {
+            let sim = w
+                .run_cfg(RunCfg::with_depth(BackendKind::Simmed, scale, 1))
+                .unwrap_or_else(|e| panic!("{} simmed: {e}", w.name()));
+            let stk = w
+                .run_cfg(RunCfg::with_depth(BackendKind::Stack, scale, 1))
+                .unwrap_or_else(|e| panic!("{} stack: {e}", w.name()));
+            assert_eq!(
+                sim.boundaries[0],
+                stk.boundaries[0],
+                "{} @ {scale}: stack projection vs flushed simulator",
+                w.name()
+            );
+            cells += 1;
+        }
+    }
+    assert!(cells >= 30, "expected a well-filled matrix, got {cells}");
 }
 
 #[test]

@@ -182,6 +182,82 @@ fn fail_fast_skips_later_cells_and_resume_picks_them_up() {
 }
 
 #[test]
+fn curve_sweep_journals_stack_cells_with_stable_keys_and_resumes() {
+    let dir = tmp_dir("curve");
+    let journal = dir.join("j.jsonl");
+    // Pass 1: a --curve sweep is an ordinary sweep over stack-backend
+    // cells — CSV status column, JSONL journal, exit 0.
+    let args: Vec<String> = [
+        "sweep",
+        "--group",
+        "krylov",
+        "--curve",
+        "--csv",
+        "--journal",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain([journal.display().to_string()])
+    .collect();
+    let out = harness().args(&args).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let csv = stdout(&out);
+    let rows: Vec<&str> = csv.lines().skip(1).collect();
+    assert_eq!(rows.len(), 5, "five krylov stack cells: {csv}");
+    for row in &rows {
+        assert!(
+            row.contains(",stack,"),
+            "curve cells run the stack backend: {row}"
+        );
+        assert!(row.ends_with(",ok"), "{row}");
+    }
+    let j1 = std::fs::read_to_string(&journal).unwrap();
+    assert!(j1.contains("\"backend\":\"stack\""), "{j1}");
+    let keys = |j: &str| -> Vec<String> {
+        let mut ks: Vec<String> = j
+            .lines()
+            .map(|l| {
+                let k = l
+                    .split("\"key\":\"")
+                    .nth(1)
+                    .unwrap()
+                    .split('"')
+                    .next()
+                    .unwrap();
+                assert_eq!(k.len(), 16, "config-hash key: {l}");
+                k.to_string()
+            })
+            .collect();
+        ks.sort();
+        ks
+    };
+
+    // Pass 2: --resume recomputes the same config-hash keys, so a fully
+    // ok journal means nothing re-runs.
+    let out = harness().args(&args).arg("--resume").output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("nothing left to run"),
+        "{}",
+        stderr(&out)
+    );
+
+    // Pass 3: a fresh journal of the same sweep carries identical keys —
+    // the hash is a function of the cell config, not the run.
+    let journal2 = dir.join("j2.jsonl");
+    let args2: Vec<String> = args[..args.len() - 1]
+        .iter()
+        .cloned()
+        .chain([journal2.display().to_string()])
+        .collect();
+    let out = harness().args(&args2).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let j2 = std::fs::read_to_string(&journal2).unwrap();
+    assert_eq!(keys(&j1), keys(&j2), "cell keys must be stable across runs");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn run_subcommand_contains_panics_and_exits_one() {
     let out = harness()
         .args([
@@ -223,6 +299,13 @@ fn degenerate_flags_are_usage_errors() {
         vec!["sweep", "--retries", "-3"],
         vec!["sweep", "--fault-plan", "matmul-wa:explode"],
         vec!["run", "matmul-wa", "--timeout", "0"],
+        vec!["sweep", "--curve", "--backend", "simmed"],
+        vec!["curve"],
+        vec!["curve", "nonesuch"],
+        vec!["curve", "nbody-symmetric"], // explicit-only: no stack cell
+        vec!["curve", "matmul-wa", "--geometric", "0:5:3"],
+        vec!["curve", "matmul-wa", "--geometric", "64:32:3"],
+        vec!["curve", "matmul-wa", "--capacities", "12,nope"],
     ] {
         let out = harness().args(&args).output().unwrap();
         assert_eq!(out.status.code(), Some(2), "{args:?}: {}", stderr(&out));

@@ -8,7 +8,7 @@ use crate::fft::{fft_mem, Complex};
 use crate::strassen::{strassen_mem, strassen_scratch_words};
 use dense::desc::alloc_layout;
 use memsim::xeon::XeonGeometry;
-use memsim::{memsim_report, Mem, MemSim, RawMem, SimMem, TraceMem};
+use memsim::{memsim_report, stack_report, Mem, MemSim, RawMem, SimMem, StackMem, TraceMem};
 use wa_core::engine::{BackendKind, EngineError, FnWorkload, Scale, Workload};
 use wa_core::report::{timed, RunReport};
 use wa_core::Mat;
@@ -47,6 +47,13 @@ fn run_backend(
             r.wall_ns = ns;
             Ok(r)
         }
+        BackendKind::Stack => {
+            let mut mem = StackMem::from_vec(data);
+            let (_, ns) = timed(|| kernel(&mut (&mut mem as &mut dyn Mem)));
+            let mut r = stack_report(&mem.sim, l3_words(scale), base(backend));
+            r.wall_ns = ns;
+            Ok(r)
+        }
         BackendKind::Traced => {
             let mut mem = TraceMem::from_vec(data);
             let (_, ns) = timed(|| kernel(&mut (&mut mem as &mut dyn Mem)));
@@ -60,13 +67,23 @@ fn run_backend(
         BackendKind::Explicit => Err(EngineError::UnsupportedBackend {
             workload: name.to_string(),
             backend,
-            supported: vec![BackendKind::Raw, BackendKind::Simmed, BackendKind::Traced],
+            supported: vec![
+                BackendKind::Raw,
+                BackendKind::Simmed,
+                BackendKind::Traced,
+                BackendKind::Stack,
+            ],
         }),
     }
 }
 
 pub fn workloads() -> Vec<Box<dyn Workload>> {
-    let backends = [BackendKind::Raw, BackendKind::Simmed, BackendKind::Traced];
+    let backends = [
+        BackendKind::Raw,
+        BackendKind::Simmed,
+        BackendKind::Traced,
+        BackendKind::Stack,
+    ];
     vec![
         FnWorkload::boxed(
             "fft",

@@ -10,7 +10,12 @@
 //!   true-LRU L3-sized simulator (the Propositions 6.1/6.2 setting),
 //!   flushed before reporting so end-of-run dirty state is charged;
 //! * `raw` — the same access-driven kernels on raw memory (wall clock);
-//! * `traced` — the address trace, reported as length/distinct-lines.
+//! * `traced` — the address trace, reported as length/distinct-lines;
+//! * `stack` — the single-pass Mattson stack simulator: one run of the
+//!   access-driven kernel yields exact FA-LRU fills and write-backs at
+//!   *every* capacity (a [`wa_core::CapacityCurve`]); the report's
+//!   boundary echoes the L3-sized projection so it agrees byte-for-byte
+//!   with flushed `simmed`.
 //!
 //! Geometry: fast memory `M` = the scale's L3 words; the matrix dimension
 //! is `2·b_sim` where `b_sim = ⌊√(M/5)⌋` rounded down to a whole number
@@ -35,7 +40,10 @@ use crate::matmul::multilevel::{ml_matmul, RecOrder};
 use crate::matmul::{blocked_matmul, co_matmul, LoopOrder};
 use crate::trsm::{blocked_trsm, TrsmVariant};
 use memsim::xeon::XeonGeometry;
-use memsim::{explicit_report, memsim_report, ExplicitHier, Mem, MemSim, RawMem, SimMem, TraceMem};
+use memsim::{
+    explicit_report, memsim_report, stack_report, ExplicitHier, Mem, MemSim, RawMem, SimMem,
+    StackMem, TraceMem,
+};
 use wa_core::engine::{BackendKind, EngineError, FnWorkload, RunCfg, Scale, Workload};
 use wa_core::report::{timed, RunReport};
 use wa_core::Mat;
@@ -122,6 +130,13 @@ fn run_mem_kernel(
             r.wall_ns = ns;
             Ok(r)
         }
+        BackendKind::Stack => {
+            let mut mem = StackMem::from_vec(data);
+            let (_, ns) = timed(|| kernel(&mut (&mut mem as &mut dyn Mem), &d));
+            let mut r = stack_report(&mem.sim, m_words, base_report(name, backend, scale, n));
+            r.wall_ns = ns;
+            Ok(r)
+        }
         BackendKind::Traced => {
             let mut mem = TraceMem::from_vec(data);
             let (_, ns) = timed(|| kernel(&mut (&mut mem as &mut dyn Mem), &d));
@@ -138,7 +153,12 @@ fn run_mem_kernel(
         BackendKind::Explicit => Err(EngineError::UnsupportedBackend {
             workload: name.to_string(),
             backend,
-            supported: vec![BackendKind::Raw, BackendKind::Simmed, BackendKind::Traced],
+            supported: vec![
+                BackendKind::Raw,
+                BackendKind::Simmed,
+                BackendKind::Traced,
+                BackendKind::Stack,
+            ],
         }),
     }
 }
@@ -225,9 +245,15 @@ fn matmul_workload(
             BackendKind::Simmed,
             BackendKind::Traced,
             BackendKind::Explicit,
+            BackendKind::Stack,
         ]
     } else {
-        vec![BackendKind::Raw, BackendKind::Simmed, BackendKind::Traced]
+        vec![
+            BackendKind::Raw,
+            BackendKind::Simmed,
+            BackendKind::Traced,
+            BackendKind::Stack,
+        ]
     };
     // Only the WA order has a multi-level explicit kernel (§4.1 induction)
     // to compare the stacked simulator against.
@@ -319,6 +345,7 @@ fn trsm_workload(name: &'static str, description: &'static str, wa: bool) -> Box
         BackendKind::Simmed,
         BackendKind::Traced,
         BackendKind::Explicit,
+        BackendKind::Stack,
     ];
     FnWorkload::boxed(
         name,
@@ -363,6 +390,7 @@ fn cholesky_workload(name: &'static str, description: &'static str, wa: bool) ->
         BackendKind::Simmed,
         BackendKind::Traced,
         BackendKind::Explicit,
+        BackendKind::Stack,
     ];
     FnWorkload::boxed(
         name,
@@ -409,6 +437,7 @@ fn lu_workload(
         BackendKind::Simmed,
         BackendKind::Traced,
         BackendKind::Explicit,
+        BackendKind::Stack,
     ];
     FnWorkload::boxed(
         name,
@@ -449,10 +478,31 @@ mod tests {
                     .run(b, Scale::Small)
                     .unwrap_or_else(|e| panic!("{} on {b}: {e}", w.name()));
                 assert_eq!(r.backend, b);
-                if b == BackendKind::Simmed || b == BackendKind::Explicit {
+                if b == BackendKind::Simmed || b == BackendKind::Explicit || b == BackendKind::Stack
+                {
                     assert!(!r.boundaries.is_empty(), "{} on {b}", w.name());
                 }
+                if b == BackendKind::Stack {
+                    assert!(r.curve.is_some(), "{} on {b} must carry a curve", w.name());
+                }
             }
+        }
+    }
+
+    #[test]
+    fn stack_boundary_agrees_with_flushed_simmed_for_every_dense_workload() {
+        for w in workloads() {
+            if !w.backends().contains(&BackendKind::Stack) {
+                continue;
+            }
+            let sim = w.run(BackendKind::Simmed, Scale::Small).unwrap();
+            let stk = w.run(BackendKind::Stack, Scale::Small).unwrap();
+            assert_eq!(
+                sim.boundaries.last().unwrap(),
+                stk.boundaries.last().unwrap(),
+                "{}: stack projection at fast_words must equal flushed simmed",
+                w.name()
+            );
         }
     }
 

@@ -15,9 +15,12 @@
 //! * [`SimIo`] — the *same* run stream replayed through the multi-level
 //!   cache simulator ([`memsim::MemSim`]): the `simmed` backend, whose
 //!   line-granular write-backs the cross-model tests compare against the
-//!   tally.
+//!   tally;
+//! * [`StackIo`] — the run stream through the single-pass Mattson stack
+//!   simulator ([`memsim::StackSim`]): the `stack` backend, projecting
+//!   exact FA-LRU fills and write-backs for every capacity at once.
 
-use memsim::MemSim;
+use memsim::{MemSim, StackSim};
 use wa_core::{AccessRun, Traffic};
 
 /// The charging surface the Krylov kernels drive. Addresses are *nominal*
@@ -134,6 +137,51 @@ impl SimIo {
 }
 
 impl IoSink for SimIo {
+    fn read_at(&mut self, addr: usize, words: usize) {
+        self.sim.read_range(addr, words);
+    }
+
+    fn write_at(&mut self, addr: usize, words: usize) {
+        self.sim.write_range(addr, words);
+    }
+
+    fn flop(&mut self, n: usize) {
+        self.flops += n as u64;
+    }
+
+    fn run(&mut self, runs: &[AccessRun]) {
+        self.sim.run(runs);
+    }
+
+    fn phase(&mut self, name: &'static str) {
+        self.sim.phase(name);
+    }
+}
+
+/// [`IoSink`] that feeds the kernel's run stream to the single-pass
+/// Mattson stack simulator — the Krylov `stack` backend. No flush is
+/// needed: [`StackSim::curve`] folds end-of-trace dirty state itself.
+pub struct StackIo {
+    pub sim: StackSim,
+    pub flops: u64,
+}
+
+impl StackIo {
+    pub fn new() -> Self {
+        StackIo {
+            sim: StackSim::new(),
+            flops: 0,
+        }
+    }
+}
+
+impl Default for StackIo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IoSink for StackIo {
     fn read_at(&mut self, addr: usize, words: usize) {
         self.sim.read_range(addr, words);
     }

@@ -19,11 +19,11 @@
 
 use crate::cacg::{ca_cg, CaCgOptions};
 use crate::cg::{cg, SolveResult};
-use crate::counter::{IoTally, SimIo};
+use crate::counter::{IoTally, SimIo, StackIo};
 use crate::stencil::laplacian_2d;
 use crate::tsqr::tsqr_r;
 use memsim::xeon::XeonGeometry;
-use memsim::{memsim_report, MemSim, Policy};
+use memsim::{memsim_report, stack_report, MemSim, Policy};
 use wa_core::engine::{BackendKind, EngineError, FnWorkload, RunCfg, Scale, Workload};
 use wa_core::report::{timed, RunReport};
 use wa_core::{BoundaryTraffic, XorShift};
@@ -84,6 +84,28 @@ fn sim_report(name: &str, scale: Scale, mut io: SimIo, iters: usize, residual: f
     r
 }
 
+/// Project a solver run through [`StackIo`] onto a report: the curve's
+/// `M₁` projection is the report's one boundary, and the whole curve
+/// rides along. No flush — [`memsim::StackSim::curve`] folds
+/// end-of-trace dirty state itself.
+fn stack_io_report(
+    name: &str,
+    scale: Scale,
+    io: StackIo,
+    iters: usize,
+    residual: f64,
+) -> RunReport {
+    let mut r = stack_report(
+        &io.sim,
+        m1_words(scale),
+        RunReport::new(name, BackendKind::Stack, scale)
+            .config("iters", iters)
+            .config("residual", format!("{residual:.3e}")),
+    );
+    r.flops = io.flops;
+    r
+}
+
 fn check_converged(name: &str, res: &SolveResult) -> Result<(), EngineError> {
     if res.residual > 1e-6 {
         return Err(EngineError::Failed {
@@ -99,7 +121,12 @@ fn solver_workload(
     description: &'static str,
     opts: Option<CaCgOptions>, // None = plain CG
 ) -> Box<dyn Workload> {
-    let backends = [BackendKind::Raw, BackendKind::Explicit, BackendKind::Simmed];
+    let backends = [
+        BackendKind::Raw,
+        BackendKind::Explicit,
+        BackendKind::Simmed,
+        BackendKind::Stack,
+    ];
     let depths = [(BackendKind::Simmed, 3)];
     FnWorkload::boxed_deep(
         name,
@@ -149,6 +176,18 @@ fn solver_workload(
                     r.wall_ns = ns;
                     Ok(r)
                 }
+                BackendKind::Stack => {
+                    let mut io = StackIo::new();
+                    let (res, ns) = timed(|| match &opts {
+                        None => cg(&a, &b, &x0, 1e-10, 4 * g * g, &mut io),
+                        Some(o) => ca_cg(&a, &b, &x0, o, &mut io),
+                    });
+                    check_converged(name, &res)?;
+                    let mut r = stack_io_report(name, scale, io, res.iters, res.residual)
+                        .config("grid", format!("{g}x{g}"));
+                    r.wall_ns = ns;
+                    Ok(r)
+                }
                 other => Err(EngineError::UnsupportedBackend {
                     workload: name.to_string(),
                     backend: other,
@@ -162,7 +201,12 @@ fn solver_workload(
 /// Streaming / storing tall-skinny QR (the §8 Arnoldi building block):
 /// `nblocks` row blocks of 64×8, blocks regenerated on demand.
 fn tsqr_workload(name: &'static str, description: &'static str, store: bool) -> Box<dyn Workload> {
-    let backends = [BackendKind::Raw, BackendKind::Explicit, BackendKind::Simmed];
+    let backends = [
+        BackendKind::Raw,
+        BackendKind::Explicit,
+        BackendKind::Simmed,
+        BackendKind::Stack,
+    ];
     let depths = [(BackendKind::Simmed, 3)];
     FnWorkload::boxed_deep(
         name,
@@ -219,6 +263,14 @@ fn tsqr_workload(name: &'static str, description: &'static str, store: bool) -> 
                     let mut r = memsim_report(&io.sim, base(backend))
                         .config("depth", depth)
                         .note("boundary 0 (fast side M1) is the tally's boundary");
+                    r.flops = io.flops;
+                    r.wall_ns = ns;
+                    Ok(r)
+                }
+                BackendKind::Stack => {
+                    let mut io = StackIo::new();
+                    let (_, ns) = timed(|| tsqr_r(nblocks, rpb, s, gen, store, &mut io));
+                    let mut r = stack_report(&io.sim, m1_words(scale), base(backend));
                     r.flops = io.flops;
                     r.wall_ns = ns;
                     Ok(r)
@@ -299,6 +351,25 @@ mod tests {
                     w.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn stack_m1_projection_agrees_with_depth1_simmed() {
+        for w in workloads() {
+            let sim = w.run(BackendKind::Simmed, Scale::Small).unwrap();
+            let stk = w.run(BackendKind::Stack, Scale::Small).unwrap();
+            assert_eq!(
+                sim.boundaries[0],
+                stk.boundaries[0],
+                "{}: stack curve at M1 must equal the flushed simulator",
+                w.name()
+            );
+            assert!(
+                stk.curve.is_some(),
+                "{} stack run carries a curve",
+                w.name()
+            );
         }
     }
 

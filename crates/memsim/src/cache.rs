@@ -361,6 +361,34 @@ impl Level {
         }
     }
 
+    /// Does `slot` currently hold `line`? The hierarchy's carried memo
+    /// entries may have been invalidated, or their slot reused, by walks
+    /// that happened since they were recorded; this is the O(1)
+    /// revalidation check (tags are private to this module).
+    #[inline]
+    pub fn slot_holds(&self, slot: usize, line: u64) -> bool {
+        self.tags[slot] == line
+    }
+
+    /// Count one hit on `slot` whose line was accessed *recently but not
+    /// immediately before*: unlike [`Level::fast_hits`] the line need not
+    /// be MRU, so replacement metadata is refreshed exactly as
+    /// [`Level::touch`] would — only the index lookup is skipped. The
+    /// caller must have revalidated the slot via [`Level::slot_holds`].
+    #[inline]
+    pub fn rehit(&mut self, slot: usize, now: u64, make_dirty: bool) {
+        self.counters.hits += 1;
+        if let Some(fa) = &mut self.fa {
+            fa.unlink(slot);
+            fa.push_mru(slot);
+        } else {
+            self.cfg.policy.on_hit(&mut self.meta[slot], now);
+        }
+        if make_dirty {
+            self.dirty[slot] = true;
+        }
+    }
+
     /// Is `line` present?
     pub fn contains(&self, line: u64) -> bool {
         self.find(line).is_some()

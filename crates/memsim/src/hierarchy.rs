@@ -34,13 +34,20 @@ pub struct MemSim {
     levels: Vec<Level>,
     line_words: usize,
     clock: u64,
-    /// Last-line memo: `(line, l1_slot)` of the most recent access. After
-    /// any access the line is resident in L1 at `l1_slot` and is that
-    /// level's MRU entry, so a consecutive access to the same line can
-    /// short-circuit to an L1 hit-count bump — no index lookup, no
-    /// recency-list surgery. Invalidated by [`MemSim::flush`] (the only
-    /// non-access mutation).
-    memo: Option<(u64, usize)>,
+    /// Two-entry line memo. `memo[0]` is the `(line, l1_slot)` of the most
+    /// recent access: after any access that line is resident in L1 at
+    /// `l1_slot` and is that level's MRU entry, so a consecutive access to
+    /// the same line short-circuits to an L1 hit-count bump — no index
+    /// lookup, no recency-list surgery. `memo[1]` is the previous
+    /// *distinct* line: ping-pong patterns (fft's bit-reversal, nbody's
+    /// pairwise sweep) alternate between two lines, so a `memo[1]` match
+    /// skips the index lookup and the multi-level walk but still performs
+    /// the full L1 recency update ([`Level::rehit`]) — and, because walks
+    /// since the entry was recorded may have evicted the line or reused
+    /// the slot, the entry is revalidated against the L1 tag array first
+    /// ([`Level::slot_holds`]). Entries always name distinct lines.
+    /// Invalidated by [`MemSim::flush`] (the only non-access mutation).
+    memo: [Option<(u64, usize)>; 2],
     /// When false, every word takes the full multi-level walk (the
     /// pre-memo reference behavior). Exists so the property tests can
     /// compare the fast path against the reference on the same trace.
@@ -86,7 +93,7 @@ impl MemSim {
             levels: cfgs.iter().map(|c| Level::new(*c)).collect(),
             line_words,
             clock: 0,
-            memo: None,
+            memo: [None, None],
             fast_path: true,
             dram_reads_lines: 0,
             dram_writes_lines: 0,
@@ -293,7 +300,7 @@ impl MemSim {
             if in_line > 1 {
                 // The remaining words of the interval are consecutive
                 // same-line accesses: L1 repeat-hits, counted in bulk.
-                let (_, slot) = self.memo.expect("access() always sets the memo");
+                let (_, slot) = self.memo[0].expect("access() always sets the memo");
                 self.clock += (in_line - 1) as u64;
                 self.levels[0].fast_hits(slot, (in_line - 1) as u64, is_write);
                 self.memo_hits += (in_line - 1) as u64;
@@ -307,24 +314,23 @@ impl MemSim {
         }
     }
 
-    /// Disable the last-line memo and the line-granular range
-    /// decomposition, forcing the reference per-word walk. Used by the
-    /// equivalence property tests; simulation results must not depend on
-    /// this switch.
+    /// Disable the line memo and the line-granular range decomposition,
+    /// forcing the reference per-word walk. Used by the equivalence
+    /// property tests; simulation results must not depend on this switch.
     pub fn disable_fast_path(&mut self) {
         self.fast_path = false;
-        self.memo = None;
+        self.memo = [None, None];
     }
 
     fn access(&mut self, addr: u64, is_write: bool) {
         self.clock += 1;
         let line = addr / self.line_words as u64;
 
-        // Fast path: the line of the immediately preceding access is
-        // resident and MRU in L1 — a repeat touch only bumps the hit
-        // counter (and dirtiness); replacement state cannot change.
         if self.fast_path {
-            if let Some((memo_line, slot)) = self.memo {
+            // memo[0]: the line of the immediately preceding access is
+            // resident and MRU in L1 — a repeat touch only bumps the hit
+            // counter (and dirtiness); replacement state cannot change.
+            if let Some((memo_line, slot)) = self.memo[0] {
                 if memo_line == line {
                     self.levels[0].fast_hits(slot, 1, is_write);
                     self.memo_hits += 1;
@@ -333,6 +339,26 @@ impl MemSim {
                             h.record_repeats(1);
                         }
                     }
+                    return;
+                }
+            }
+            // memo[1]: the previous distinct line. If its slot still
+            // holds it (walks since may have evicted it), this is an L1
+            // hit that skips only the index lookup and the level walk —
+            // the recency update is the real one, since the line is not
+            // MRU. The reuse histogram must see it as a full touch (it
+            // is not a distance-0 repeat; skipping would leave the
+            // line's Fenwick marker stale and corrupt later distances).
+            if let Some((memo_line, slot)) = self.memo[1] {
+                if memo_line == line && self.levels[0].slot_holds(slot, line) {
+                    self.levels[0].rehit(slot, self.clock, is_write);
+                    self.memo_hits += 1;
+                    if self.probe_reuse {
+                        if let Some(h) = self.probe.as_mut().and_then(|p| p.reuse_mut()) {
+                            h.touch(line);
+                        }
+                    }
+                    self.memo.swap(0, 1);
                     return;
                 }
             }
@@ -376,8 +402,11 @@ impl MemSim {
                 self.handle_victim(i, v);
             }
         }
-        // The accessed line now sits in L1 at `l1_slot` as the MRU entry.
-        self.memo = Some((line, l1_slot));
+        // The accessed line now sits in L1 at `l1_slot` as the MRU entry;
+        // the previous front entry is carried (revalidated on use — this
+        // walk's evictions may have displaced it).
+        self.memo[1] = self.memo[0];
+        self.memo[0] = Some((line, l1_slot));
     }
 
     /// A victim was displaced from level `i`: back-invalidate faster
@@ -413,9 +442,9 @@ impl MemSim {
         self.phase("(flush)");
         let n = self.levels.len();
         let mut flushed = 0;
-        // Residency is about to change wholesale; the last-line memo
-        // would dangle.
-        self.memo = None;
+        // Residency is about to change wholesale; the line memo would
+        // dangle.
+        self.memo = [None, None];
         // Top-down: push dirtiness toward the LLC.
         for i in 0..n {
             let drained = self.levels[i].drain();
@@ -688,22 +717,66 @@ mod tests {
         m.read_range(0, 16);
         assert_eq!(m.memo_misses, 2);
         assert_eq!(m.memo_hits, 14);
-        // Re-reading the same first word is a memo hit (same line as the
-        // last access? no — last access ended on line 1): word 0 walks.
+        // Re-reading the first word: the last access ended on line 1, but
+        // line 0 is the second memo entry — a memo[1] hit, no walk.
         m.read(0);
-        assert_eq!(m.memo_misses, 3);
-        // Hammering the same word now memo-hits every time.
+        assert_eq!(m.memo_misses, 2);
+        assert_eq!(m.memo_hits, 15);
+        // Hammering the same word memo[0]-hits every time.
         for _ in 0..5 {
             m.read(0);
         }
-        assert_eq!(m.memo_hits, 19);
-        assert_eq!(m.memo_misses, 3);
-        // Flush invalidates the memo: the next access walks again.
+        assert_eq!(m.memo_hits, 20);
+        assert_eq!(m.memo_misses, 2);
+        // Flush invalidates both memo entries: the next access walks.
         m.flush();
         m.read(0);
-        assert_eq!(m.memo_misses, 4);
+        assert_eq!(m.memo_misses, 3);
         // Every access is either a memo hit or a walk.
         assert_eq!(m.memo_hits + m.memo_misses, 16 + 1 + 5 + 1);
+    }
+
+    #[test]
+    fn two_entry_memo_catches_ping_pong_and_matches_reference() {
+        // Strict A/B alternation never hits a 1-entry memo; the 2-entry
+        // memo serves every access after the first two without a walk,
+        // and the counters must still match the reference walk exactly
+        // (the memo[1] path does a real recency update).
+        let mut fast = MemSim::single_level_lru(64);
+        let mut refr = MemSim::single_level_lru(64);
+        refr.disable_fast_path();
+        for m in [&mut fast, &mut refr] {
+            for _ in 0..8 {
+                m.read(0); // line 0
+                m.write(8); // line 1
+            }
+            m.flush();
+        }
+        assert_eq!(fast.llc(), refr.llc());
+        assert_eq!(fast.dram_writes_lines, refr.dram_writes_lines);
+        assert_eq!(fast.memo_misses, 2, "only the two cold accesses walk");
+        assert_eq!(fast.memo_hits, 14);
+    }
+
+    #[test]
+    fn stale_memo_entry_is_revalidated_after_eviction() {
+        // 1-line cache: every distinct-line access evicts the previous
+        // line, so the carried memo[1] entry always points at a reused
+        // slot. The tag revalidation must reject it and take the walk —
+        // counters must match the reference.
+        let mut fast = MemSim::single_level_lru(8);
+        let mut refr = MemSim::single_level_lru(8);
+        refr.disable_fast_path();
+        for m in [&mut fast, &mut refr] {
+            for _ in 0..4 {
+                m.write(0); // line 0 evicts line 1
+                m.read(8); // line 1 evicts line 0
+            }
+            m.flush();
+        }
+        assert_eq!(fast.llc(), refr.llc());
+        assert_eq!(fast.dram_writes_lines, refr.dram_writes_lines);
+        assert_eq!(fast.memo_hits, 0, "every memo[1] candidate was evicted");
     }
 
     #[test]
@@ -727,12 +800,14 @@ mod tests {
         assert_eq!(get("(flush)").dram_writes, 1);
         assert_eq!(get("(flush)").writebacks, vec![1]);
         assert_eq!(m.dram_writes_lines, 1);
-        // Reuse histogram: 2 cold line touches (+1 re-walk at the line-0
-        // boundary of the write span), 14 + 7 bulk repeats.
+        // Reuse histogram: 2 cold line touches, 14 + 7 bulk repeats, and
+        // one distance-1 reuse at the line-0 boundary of the write span
+        // (a memo[1] hit, which must still advance the Fenwick state).
         let h = m.probe().unwrap().reuse().unwrap();
         assert_eq!(h.cold, 2);
-        assert_eq!(h.buckets[0], 21);
-        assert_eq!(h.total(), 24);
+        assert_eq!(h.repeats, 21);
+        assert_eq!(h.buckets[1], 1, "line 0 reused at distance 1");
+        assert_eq!(h.total(), 24, "mass equals the 24 line touches");
     }
 
     #[test]

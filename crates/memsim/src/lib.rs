@@ -28,6 +28,10 @@
 //!   attached automatically by the shared [`MemSim::single_level_lru`] /
 //!   [`MemSim::stacked_lru`] constructors when a [`wa_core::obs`]
 //!   recorder is installed.
+//! * [`stack`] — the single-pass Mattson stack simulator
+//!   ([`stack::StackSim`]): exact FA-LRU fills and write-backs for
+//!   *every* capacity from one pass over the same access stream,
+//!   projected as a [`wa_core::CapacityCurve`] (the `stack` backend).
 
 pub mod cache;
 pub mod explicit;
@@ -37,6 +41,7 @@ pub mod mem;
 pub mod policy;
 pub mod probe;
 pub mod report;
+pub mod stack;
 pub mod writebuffer;
 pub mod xeon;
 
@@ -46,5 +51,6 @@ pub use hierarchy::{AccessRun, MemSim};
 pub use mem::{Mem, RawMem, SimMem, TraceMem};
 pub use policy::Policy;
 pub use probe::{PhaseStats, Probe, ReuseHist};
-pub use report::{explicit_report, memsim_report};
+pub use report::{explicit_report, memsim_report, stack_report};
+pub use stack::{StackMem, StackSim};
 pub use xeon::LINE_WORDS;

@@ -181,47 +181,30 @@ impl Probe {
     }
 }
 
-/// Mattson (LRU stack-distance) histogram over the line access stream.
-///
-/// `touch(line)` records one *distinct-line-boundary* access: distance =
-/// number of distinct lines touched since `line`'s previous access
-/// (`u64::MAX`-like "cold" for first touches), bucketed as `d = 0`,
-/// `d = 1`, `d ∈ [2,3]`, `[4,7]`, … (powers of two). Consecutive
-/// same-line repeats are distance 0 and are recorded in bulk via
-/// [`ReuseHist::record_repeats`] without touching the Fenwick tree —
-/// valid precisely because they are contiguous, so they carry no
-/// distinct-line information.
-pub struct ReuseHist {
-    /// `line -> tick of its last full-walk access`.
-    last: HashMap<u64, usize>,
-    /// Fenwick tree over ticks 1..=n: 1 where a line's most recent
-    /// access sits. `fen.len() == n + 1`.
+/// Fenwick (binary-indexed) tree over access ticks `1..=n`, holding a 1
+/// at each line's most recent access position. Grows by doubling.
+/// Shared by [`ReuseHist`] and the Mattson stack simulator
+/// (`crate::stack::StackSim`), which both derive stack distances from
+/// prefix sums over it.
+pub(crate) struct Fenwick {
+    /// `fen.len() == n + 1`; index 0 unused.
     fen: Vec<i64>,
-    /// Tree size (power of two); doubles as the tick stream grows.
+    /// Tree size (power of two).
     n: usize,
-    tick: usize,
-    /// First-ever touches (infinite distance).
-    pub cold: u64,
-    /// `buckets[0]` = distance 0; `buckets[i]` = distance in
-    /// `[2^(i-1), 2^i - 1]` for `i ≥ 1`.
-    pub buckets: Vec<u64>,
 }
 
-impl Default for ReuseHist {
-    fn default() -> Self {
-        ReuseHist::new()
-    }
-}
-
-impl ReuseHist {
-    pub fn new() -> ReuseHist {
-        ReuseHist {
-            last: HashMap::new(),
+impl Fenwick {
+    pub(crate) fn new() -> Fenwick {
+        Fenwick {
             fen: vec![0; 65],
             n: 64,
-            tick: 0,
-            cold: 0,
-            buckets: vec![0],
+        }
+    }
+
+    /// Grow until `tick` is addressable.
+    pub(crate) fn ensure(&mut self, tick: usize) {
+        while tick > self.n {
+            self.grow();
         }
     }
 
@@ -237,14 +220,15 @@ impl ReuseHist {
         self.fen[self.n] = total;
     }
 
-    fn fen_add(&mut self, mut i: usize, v: i64) {
+    pub(crate) fn add(&mut self, mut i: usize, v: i64) {
         while i <= self.n {
             self.fen[i] += v;
             i += i & i.wrapping_neg();
         }
     }
 
-    fn fen_sum(&self, mut i: usize) -> i64 {
+    /// Sum of positions `1..=i`.
+    pub(crate) fn prefix(&self, mut i: usize) -> i64 {
         let mut s = 0;
         while i > 0 {
             s += self.fen[i];
@@ -252,44 +236,94 @@ impl ReuseHist {
         }
         s
     }
+}
+
+/// Mattson (LRU stack-distance) histogram over the line access stream.
+///
+/// `touch(line)` records one *distinct-line-boundary* access: distance =
+/// number of distinct lines touched since `line`'s previous access
+/// (`u64::MAX`-like "cold" for first touches), bucketed as `d = 0`,
+/// `d = 1`, `d ∈ [2,3]`, `[4,7]`, … (powers of two). Consecutive
+/// same-line repeats are distance 0 and are recorded in bulk via
+/// [`ReuseHist::record_repeats`] into the separate [`ReuseHist::repeats`]
+/// counter without touching the Fenwick tree — valid precisely because
+/// they are contiguous, so they carry no distinct-line information.
+/// Keeping them out of `buckets[0]` means the buckets count exactly the
+/// full-walk touches while `total()` still equals every line touch.
+pub struct ReuseHist {
+    /// `line -> tick of its last full-walk access`.
+    last: HashMap<u64, usize>,
+    /// Fenwick tree over ticks: 1 where a line's most recent access sits.
+    fen: Fenwick,
+    tick: usize,
+    /// First-ever touches (infinite distance).
+    pub cold: u64,
+    /// Memoized consecutive same-line repeats (distance 0 by
+    /// construction, never walked through the Fenwick tree).
+    pub repeats: u64,
+    /// `buckets[0]` = distance 0; `buckets[i]` = distance in
+    /// `[2^(i-1), 2^i - 1]` for `i ≥ 1`. Full-walk touches only.
+    pub buckets: Vec<u64>,
+}
+
+impl Default for ReuseHist {
+    fn default() -> Self {
+        ReuseHist::new()
+    }
+}
+
+impl ReuseHist {
+    pub fn new() -> ReuseHist {
+        ReuseHist {
+            last: HashMap::new(),
+            fen: Fenwick::new(),
+            tick: 0,
+            cold: 0,
+            repeats: 0,
+            buckets: vec![0],
+        }
+    }
 
     /// Record `n` consecutive same-line repeat accesses (distance 0).
     pub fn record_repeats(&mut self, n: u64) {
-        self.buckets[0] += n;
+        self.repeats += n;
     }
 
     /// Record one access to `line` at a line boundary (a full-walk access
     /// in the simulator).
     pub fn touch(&mut self, line: u64) {
         self.tick += 1;
-        while self.tick > self.n {
-            self.grow();
-        }
+        self.fen.ensure(self.tick);
         match self.last.insert(line, self.tick) {
             None => self.cold += 1,
             Some(prev) => {
                 // Distinct lines touched strictly between prev and now.
-                let d = (self.fen_sum(self.tick - 1) - self.fen_sum(prev)) as u64;
+                let d = (self.fen.prefix(self.tick - 1) - self.fen.prefix(prev)) as u64;
                 let b = bucket_of(d);
                 if self.buckets.len() <= b {
                     self.buckets.resize(b + 1, 0);
                 }
                 self.buckets[b] += 1;
-                self.fen_add(prev, -1);
+                self.fen.add(prev, -1);
             }
         }
-        self.fen_add(self.tick, 1);
+        self.fen.add(self.tick, 1);
     }
 
-    /// Total recorded accesses (repeats + boundary touches + cold).
+    /// Total recorded accesses (cold + repeats + boundary touches) —
+    /// equal to the line touches of the trace, so histogram mass checks
+    /// out against the simulator clock.
     pub fn total(&self) -> u64 {
-        self.cold + self.buckets.iter().sum::<u64>()
+        self.cold + self.repeats + self.buckets.iter().sum::<u64>()
     }
 
     /// Compact single-line rendering for report config echo:
-    /// `cold=5|d0=120|d1=3|d2-3=1|…` (empty buckets omitted).
+    /// `cold=5|rep=120|d0=2|d1=3|d2-3=1|…` (empty parts omitted).
     pub fn render(&self) -> String {
         let mut parts = vec![format!("cold={}", self.cold)];
+        if self.repeats > 0 {
+            parts.push(format!("rep={}", self.repeats));
+        }
         for (i, &n) in self.buckets.iter().enumerate() {
             if n == 0 {
                 continue;
@@ -346,10 +380,11 @@ mod tests {
         h.record_repeats(1); // the consecutive A repeat
         h.touch(1);
         assert_eq!(h.cold, 3);
-        assert_eq!(h.buckets[0], 1, "one distance-0 repeat");
+        assert_eq!(h.repeats, 1, "one memoized repeat, outside the buckets");
+        assert_eq!(h.buckets[0], 0, "no full-walk distance-0 touch");
         assert_eq!(h.buckets[bucket_of(2)], 2, "two distance-2 reuses");
-        assert_eq!(h.total(), 6);
-        assert_eq!(h.render(), "cold=3|d0=1|d2-3=2");
+        assert_eq!(h.total(), 6, "mass equals total line touches");
+        assert_eq!(h.render(), "cold=3|rep=1|d2-3=2");
     }
 
     #[test]

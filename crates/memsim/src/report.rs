@@ -13,12 +13,19 @@
 //!   (the cross-model agreement tests do; the Figure 2 reproductions do
 //!   not, matching the paper's counter methodology).
 //!
-//! The two projections emit the *same* schema, which is what makes
+//! * [`stack_report`] — a [`StackSim`]'s all-capacities projection: the
+//!   report's single boundary carries the counters at the workload's own
+//!   fast-memory capacity (identical to what a flushed single-level
+//!   `simmed` run would report), and the full [`wa_core::CapacityCurve`]
+//!   rides along in [`RunReport::curve`].
+//!
+//! The projections emit the *same* schema, which is what makes
 //! explicit-vs-simulated cross-validation a `diff` of two reports instead
 //! of a by-eye comparison of unlike tables.
 
 use crate::explicit::ExplicitHier;
 use crate::hierarchy::MemSim;
+use crate::stack::StackSim;
 use wa_core::report::RunReport;
 use wa_core::traffic::BoundaryTraffic;
 
@@ -125,6 +132,42 @@ pub fn memsim_report(sim: &MemSim, report: RunReport) -> RunReport {
     r
 }
 
+/// Fill `report` from a single-pass stack simulation, projecting the
+/// boundary counters at `fast_words` (the capacity the workload's
+/// `simmed` backend would simulate) and attaching the all-capacities
+/// [`wa_core::CapacityCurve`]. Line counts match a *flushed* FA-LRU
+/// [`MemSim::single_level_lru`] run of the same trace at `fast_words`,
+/// so `stack` and `simmed` cells cross-check by construction.
+pub fn stack_report(sim: &StackSim, fast_words: usize, report: RunReport) -> RunReport {
+    let curve = sim.curve();
+    let p = curve.at(fast_words as u64);
+    let lw = sim.line_words() as u64;
+    let mut bt = BoundaryTraffic::new(2);
+    let b = bt.boundary_mut(0);
+    b.load_words = p.fills * lw;
+    b.load_msgs = p.fills;
+    b.store_words = p.dram_writes_lines() * lw;
+    b.store_msgs = p.dram_writes_lines();
+    let mut r = report.with_boundaries(&bt, &[]);
+    r = r
+        .config("levels", 1)
+        .config("line_words", lw)
+        .config("capacities_words", fast_words)
+        .config("llc_hits", p.hits)
+        .config("llc_misses", p.misses)
+        .config("llc_victims_m", p.writebacks)
+        .config("llc_flush_victims_m", p.flush_writebacks)
+        .config("footprint_lines", curve.footprint_lines)
+        .config("cold_lines", curve.cold)
+        .config("repeats", curve.repeats)
+        .note(format!(
+            "stack: single-pass Mattson projection over {} capacities (flushed semantics)",
+            curve.default_ladder().len()
+        ));
+    r.curve = Some(curve);
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +224,40 @@ mod tests {
             .iter()
             .any(|(k, v)| k == "memo_misses" && v == "16"));
         assert!(r.config.iter().any(|(k, v)| k == "memo_hits" && v == "0"));
+    }
+
+    #[test]
+    fn stack_report_boundary_equals_flushed_simmed_at_the_same_capacity() {
+        use wa_core::AccessRun;
+        let runs = [
+            AccessRun::read(0, 128),
+            AccessRun::write(0, 64),
+            AccessRun::read(128, 64),
+            AccessRun::write(32, 8),
+        ];
+        let mut sim = MemSim::single_level_lru(64);
+        sim.run(&runs);
+        sim.flush();
+        let simmed = memsim_report(&sim, blank(BackendKind::Simmed));
+
+        let mut st = crate::stack::StackSim::new();
+        st.run(&runs);
+        let stack = stack_report(&st, 64, blank(BackendKind::Stack));
+
+        assert_eq!(stack.boundaries.len(), 1);
+        assert_eq!(stack.boundaries[0], simmed.boundaries[0]);
+        let curve = stack.curve.as_ref().expect("stack report carries a curve");
+        assert_eq!(curve.footprint_lines, 24);
+        // The curve is monotone: larger capacity, fewer fills.
+        let f: Vec<u64> = curve
+            .default_ladder()
+            .iter()
+            .map(|&c| curve.at(c).fills)
+            .collect();
+        assert!(
+            f.windows(2).all(|w| w[1] <= w[0]),
+            "fills not monotone: {f:?}"
+        );
     }
 
     #[test]

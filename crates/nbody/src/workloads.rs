@@ -13,7 +13,9 @@ use crate::force::{Particle, WORDS_PER_BODY};
 use crate::simmed::{simmed_nbody_wa, store_cloud};
 use crate::symmetric::explicit_nbody_symmetric;
 use memsim::xeon::XeonGeometry;
-use memsim::{explicit_report, memsim_report, ExplicitHier, MemSim, RawMem, SimMem};
+use memsim::{
+    explicit_report, memsim_report, stack_report, ExplicitHier, MemSim, RawMem, SimMem, StackMem,
+};
 use wa_core::engine::{BackendKind, EngineError, FnWorkload, Scale, Workload};
 use wa_core::report::{timed, RunReport};
 
@@ -58,12 +60,17 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
             "nbody-wa",
             "nbody",
             "Algorithm 4 blocked (N,2)-body: N + N^2/b loads, N stores (the output)",
-            &[BackendKind::Raw, BackendKind::Simmed, BackendKind::Explicit],
+            &[
+                BackendKind::Raw,
+                BackendKind::Simmed,
+                BackendKind::Explicit,
+                BackendKind::Stack,
+            ],
             |wa_core::engine::RunCfg { backend, scale, .. }| match backend {
                 BackendKind::Explicit => Ok(explicit_run("nbody-wa", scale, |p, h| {
                     explicit_nbody_wa(p, h)
                 })),
-                BackendKind::Simmed | BackendKind::Raw => {
+                BackendKind::Simmed | BackendKind::Raw | BackendKind::Stack => {
                     let (m, n) = particles_geometry(scale);
                     // The explicit model places blocks by hand, so b = M/3
                     // fills fast memory exactly. True LRU needs the
@@ -89,6 +96,13 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
                             .note("flushed: end-of-run dirty lines charged to DRAM");
                         r.wall_ns = ns;
                         r
+                    } else if backend == BackendKind::Stack {
+                        let mut mem = StackMem::from_vec(data);
+                        let (_, ns) = timed(|| simmed_nbody_wa(&mut mem, n, b));
+                        let mut r =
+                            stack_report(&mem.sim, words, base("nbody-wa", backend, scale, n));
+                        r.wall_ns = ns;
+                        r
                     } else {
                         let mut mem = RawMem::from_vec(data);
                         let (_, ns) = timed(|| simmed_nbody_wa(&mut mem, n, b));
@@ -105,7 +119,12 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
                 other => Err(EngineError::UnsupportedBackend {
                     workload: "nbody-wa".into(),
                     backend: other,
-                    supported: vec![BackendKind::Raw, BackendKind::Simmed, BackendKind::Explicit],
+                    supported: vec![
+                        BackendKind::Raw,
+                        BackendKind::Simmed,
+                        BackendKind::Explicit,
+                        BackendKind::Stack,
+                    ],
                 }),
             },
         ),

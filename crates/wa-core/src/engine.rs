@@ -31,14 +31,19 @@ pub enum BackendKind {
     /// The algorithm issues explicit block `load`/`store` operations whose
     /// word counts are exact (the paper's Sections 2/4 accounting).
     Explicit,
+    /// Single-pass Mattson stack simulation: the same access stream as
+    /// `Simmed`, but projected into exact FA-LRU fills/write-backs for
+    /// *every* capacity at once (a [`crate::curve::CapacityCurve`]).
+    Stack,
 }
 
 impl BackendKind {
-    pub const ALL: [BackendKind; 4] = [
+    pub const ALL: [BackendKind; 5] = [
         BackendKind::Raw,
         BackendKind::Simmed,
         BackendKind::Traced,
         BackendKind::Explicit,
+        BackendKind::Stack,
     ];
 
     pub fn as_str(&self) -> &'static str {
@@ -47,6 +52,7 @@ impl BackendKind {
             BackendKind::Simmed => "simmed",
             BackendKind::Traced => "traced",
             BackendKind::Explicit => "explicit",
+            BackendKind::Stack => "stack",
         }
     }
 
@@ -56,6 +62,7 @@ impl BackendKind {
             "simmed" | "sim" => Some(BackendKind::Simmed),
             "traced" | "trace" => Some(BackendKind::Traced),
             "explicit" => Some(BackendKind::Explicit),
+            "stack" => Some(BackendKind::Stack),
             _ => None,
         }
     }

@@ -33,10 +33,14 @@
 //! * [`obs`] — the zero-cost-when-off span/event recorder behind
 //!   `harness run --trace` and `harness profile`: the engine and `par`
 //!   emit spans/occupancy into it, `memsim` probes emit counter tracks
-//!   and per-phase rows, and it serializes Chrome trace-event JSON.
+//!   and per-phase rows, and it serializes Chrome trace-event JSON;
+//! * [`curve`] — [`curve::CapacityCurve`], the Mattson stack-distance
+//!   projection the `stack` backend emits: exact FA-LRU fills and
+//!   write-backs for every capacity from one trace pass.
 
 pub mod bounds;
 pub mod cost;
+pub mod curve;
 pub mod engine;
 pub mod fault;
 pub mod matrix;
@@ -47,6 +51,7 @@ pub mod rng;
 pub mod traffic;
 
 pub use cost::CostParams;
+pub use curve::{CapacityCurve, CurvePoint};
 pub use engine::{
     BackendKind, EngineError, FnWorkload, Registry, RunCfg, RunLimits, Scale, Workload,
 };

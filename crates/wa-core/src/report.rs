@@ -8,6 +8,7 @@
 //! serialized to a stable JSON schema by [`RunReport::to_json`] so sweeps
 //! are machine-readable without a serde dependency.
 
+use crate::curve::CapacityCurve;
 use crate::engine::{BackendKind, Scale};
 use crate::traffic::{BoundaryTraffic, Traffic};
 
@@ -68,6 +69,11 @@ pub struct RunReport {
     pub wall_ns: u128,
     /// Free-form remarks (tolerances, mapping caveats, trace stats).
     pub notes: Vec<String>,
+    /// Per-capacity projection from the `stack` backend; `None` for every
+    /// other backend. Serialized as a trailing `"curve"` key (sampled at
+    /// [`CapacityCurve::default_ladder`]) only when present, so the JSON
+    /// schema of the existing backends is unchanged.
+    pub curve: Option<CapacityCurve>,
 }
 
 impl RunReport {
@@ -82,6 +88,7 @@ impl RunReport {
             flops: 0,
             wall_ns: 0,
             notes: Vec::new(),
+            curve: None,
         }
     }
 
@@ -185,6 +192,11 @@ impl RunReport {
             json_string(&mut s, n);
         }
         s.push(']');
+        if let Some(curve) = &self.curve {
+            s.push(',');
+            json_key(&mut s, "curve");
+            s.push_str(&curve.to_json(&curve.default_ladder()));
+        }
         s.push('}');
         s
     }
@@ -318,6 +330,25 @@ mod tests {
         assert!(j.contains("\"writes_per_level\":[107,510,0]"));
         assert!(j.contains("\"flops\":42"));
         assert!(j.contains("quote \\\" backslash \\\\ done"));
+    }
+
+    #[test]
+    fn curve_key_is_emitted_only_when_present() {
+        let mut r = sample();
+        assert!(!r.to_json().contains("\"curve\""));
+        r.curve = Some(crate::curve::CapacityCurve {
+            line_words: 8,
+            word_accesses: 3,
+            line_touches: 3,
+            repeats: 2,
+            cold: 1,
+            footprint_lines: 1,
+            ..Default::default()
+        });
+        let j = r.to_json();
+        // Appended after notes, so the pinned prefix schema is untouched.
+        assert!(j.contains("],\"curve\":{\"line_words\":8,"));
+        assert!(j.ends_with("}]}}"));
     }
 
     #[test]
