@@ -87,7 +87,7 @@ fn main() {
 
 fn usage(code: i32) -> ! {
     eprintln!(
-        "usage:\n  harness list [--json|--markdown]\n  harness run <workload> [--backend B] [--scale S] [--depth D] [--repeat N] [--timeout SECS] [--retries N]\n                [--trace PATH] [--trace-clock wall|logical] [--reuse] [--json]\n  harness profile <workload> [--backend B] [--scale S] [--depth D] [--reuse]\n  harness curve <workload> [--capacities W,W,...|--geometric LO:HI:STEPS] [--scale S] [--json|--csv]\n  harness sweep [--group G] [--backend B] [--scale S] [--depth D] [--threads N] [--repeat N]\n                [--timeout SECS] [--retries N] [--fail-fast] [--journal PATH] [--resume]\n                [--metrics PATH] [--curve] [--json|--csv]\n  harness exp <command> [--scale small|paper] [--policy P]   (exp all = every paper artifact)\n\n  --depth D        hierarchy depth (cache levels) for traffic-counting backends; default 1\n  --capacities W,… curve only: comma-separated fast-memory capacities in words\n  --geometric L:H:S curve only: S capacities geometrically spaced from L to H words\n  --curve          sweep only: stack-backend cells only — every workload's full capacity\n                   curve from one simulation pass (no per-capacity re-runs)\n  --repeat N       run each scenario N times; the report carries the median wall time\n  --timeout SECS   per-cell wall-clock deadline (float seconds); overruns become `timed-out`\n  --retries N      re-attempt panicked/timed-out/retriable cells N times (deterministic backoff)\n  --trace PATH     run only: write a Chrome trace-event JSON (engine spans + simulator\n                   counter tracks); open in Perfetto or chrome://tracing\n  --trace-clock C  wall (default, microseconds) or logical (deterministic event ticks)\n  --reuse          run/profile: also collect the simulator's reuse-distance histogram\n  --fail-fast      sweep only: stop scheduling new cells after the first failure\n  --journal PATH   sweep only: per-cell JSONL journal (default sweep.journal.jsonl)\n  --resume         sweep only: skip cells the journal already records as ok; append new outcomes\n  --metrics PATH   sweep only: write a JSON rollup (failure counts per kind, retry and\n                   wall-time totals, cache-memo rates)\n  --fault-plan S   deterministic fault injection, e.g. `matmul-wa:panic@1,lu-wa:stall=2000`\n                   (also via env WA_FAULT_PLAN); kinds: panic | corrupt | stall=MS\n  --csv            sweep only: one CSV row per scenario (RunReport::CSV_HEADER +\n                   wall_ms,retries_used,status)\n  --markdown       list only: the README workload×backend support table\n\nexit codes: 0 = all cells ok, 1 = at least one cell failed, 2 = usage/config error"
+        "usage:\n  harness list [--json|--markdown]\n  harness run <workload> [--backend B] [--scale S] [--depth D] [--repeat N] [--timeout SECS] [--retries N]\n                [--mem-budget BYTES] [--degrade]\n                [--trace PATH] [--trace-clock wall|logical] [--reuse] [--json]\n  harness profile <workload> [--backend B] [--scale S] [--depth D] [--reuse]\n  harness curve <workload> [--capacities W,W,...|--geometric LO:HI:STEPS] [--scale S] [--json|--csv]\n  harness sweep [--group G] [--backend B] [--scale S] [--depth D] [--threads N] [--repeat N]\n                [--timeout SECS] [--retries N] [--mem-budget BYTES] [--degrade]\n                [--fail-fast] [--journal PATH] [--resume]\n                [--metrics PATH] [--curve] [--json|--csv]\n  harness exp <command> [--scale small|paper] [--policy P]   (exp all = every paper artifact)\n\n  --depth D        hierarchy depth (cache levels) for traffic-counting backends; default 1\n  --capacities W,… curve only: comma-separated fast-memory capacities in words\n  --geometric L:H:S curve only: S capacities geometrically spaced from L to H words\n  --curve          sweep only: stack-backend cells only — every workload's full capacity\n                   curve from one simulation pass (no per-capacity re-runs)\n  --repeat N       run each scenario N times; the report carries the median wall time\n  --timeout SECS   per-cell wall-clock deadline (float seconds); the watchdog fires the\n                   cancel token and the worker joins as `cancelled` (a worker stuck in\n                   uncancellable code is detached as legacy `timed-out`)\n  --retries N      re-attempt panicked/cancelled/timed-out/retriable cells N times\n                   (deterministic backoff)\n  --mem-budget B   per-cell footprint budget in bytes (K/M/G suffixes); over-budget\n                   cells are rejected as invalid-config before they run\n  --degrade        with --mem-budget: downgrade over-budget cells (depth->1, scale->small,\n                   backend->traced) instead of rejecting; substitutions are noted in the report\n  --trace PATH     run only: write a Chrome trace-event JSON (engine spans + simulator\n                   counter tracks); open in Perfetto or chrome://tracing\n  --trace-clock C  wall (default, microseconds) or logical (deterministic event ticks)\n  --reuse          run/profile: also collect the simulator's reuse-distance histogram\n  --fail-fast      sweep only: stop scheduling new cells after the first failure\n  --journal PATH   sweep only: per-cell JSONL journal (default sweep.journal.jsonl)\n  --resume         sweep only: skip cells the journal already records as ok; append new outcomes\n  --metrics PATH   sweep only: write a JSON rollup (failure counts per kind, retry and\n                   wall-time totals, cache-memo rates)\n  --fault-plan S   deterministic fault injection, e.g. `matmul-wa:panic@1,lu-wa:stall=2000`\n                   (also via env WA_FAULT_PLAN); kinds: panic | corrupt | stall=MS\n  --csv            sweep only: one CSV row per scenario (RunReport::CSV_HEADER +\n                   wall_ms,retries_used,status)\n  --markdown       list only: the README workload×backend support table\n\nexit codes: 0 = all cells ok, 1 = at least one cell failed, 2 = usage/config error,\n            130 = interrupted (SIGINT): journal flushed, resume with `sweep --resume`"
     );
     std::process::exit(code);
 }
@@ -112,7 +112,21 @@ fn faulted_registry(args: &[String]) -> Registry {
     reg
 }
 
-/// Parse `--timeout SECS` (float) and `--retries N` into [`RunLimits`].
+/// Parse a byte size with an optional K/M/G suffix (binary multiples),
+/// e.g. `65536`, `512K`, `64M`, `2G`.
+fn parse_size(s: &str) -> Option<u64> {
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1u64 << 10),
+        b'M' | b'm' => (&s[..s.len() - 1], 1u64 << 20),
+        b'G' | b'g' => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    let n: u64 = digits.parse().ok()?;
+    n.checked_mul(mult).filter(|&b| b > 0)
+}
+
+/// Parse `--timeout SECS` (float), `--retries N`, `--mem-budget BYTES`
+/// (K/M/G suffixes) and `--degrade` into [`RunLimits`].
 fn parse_limits(args: &[String]) -> RunLimits {
     let timeout = flag_value(args, "--timeout").map(|s| match s.parse::<f64>() {
         Ok(secs) if secs > 0.0 && secs.is_finite() => Duration::from_secs_f64(secs),
@@ -128,7 +142,20 @@ fn parse_limits(args: &[String]) -> RunLimits {
             std::process::exit(2);
         }),
     };
-    RunLimits::new(timeout, retries)
+    let mut limits = RunLimits::new(timeout, retries);
+    limits.mem_budget = flag_value(args, "--mem-budget").map(|s| match parse_size(s) {
+        Some(bytes) => bytes,
+        None => {
+            eprintln!("bad --mem-budget `{s}` (expected bytes, optionally with K/M/G)");
+            std::process::exit(2);
+        }
+    });
+    limits.degrade = has_flag(args, "--degrade");
+    if limits.degrade && limits.mem_budget.is_none() {
+        eprintln!("--degrade requires --mem-budget");
+        std::process::exit(2);
+    }
+    limits
 }
 
 /// Parse `--repeat N` (default 1).
@@ -751,6 +778,14 @@ fn sweep(reg: &Registry, args: &[String]) {
     // --fail-fast, the first failure stops *scheduling* (in-flight cells
     // drain); skipped cells stay out of the journal and re-run on resume.
     // On a terminal, a live progress line tracks completion and ETA.
+    //
+    // Ctrl-C is cooperative: the first SIGINT bumps the process interrupt
+    // epoch, which cancels every in-flight cell (they journal as
+    // `cancelled`), stops scheduling new ones, and exits 130 after the
+    // journal is flushed — `--resume` picks up exactly there. A second
+    // SIGINT exits immediately.
+    wa_core::cancel::install_sigint_handler();
+    let gen0 = wa_core::cancel::process_generation();
     let abort = AtomicBool::new(false);
     let live = std::io::stderr().is_terminal();
     let done = AtomicUsize::new(0);
@@ -758,7 +793,10 @@ fn sweep(reg: &Registry, args: &[String]) {
     let started = Instant::now();
     let total = scenarios.len();
     let results: Vec<CellResult> = par_map(&scenarios, threads, |s| {
-        if fail_fast && abort.load(Ordering::Relaxed) {
+        if (fail_fast && abort.load(Ordering::Relaxed)) || wa_core::cancel::interrupted_since(gen0)
+        {
+            // Unstarted cells stay out of the journal, so they re-run on
+            // --resume.
             return None;
         }
         let (res, attempts, dispatches) = run_repeated(reg, s.name, s.cfg, repeat);
@@ -902,6 +940,13 @@ fn sweep(reg: &Registry, args: &[String]) {
             String::new()
         }
     );
+    if wa_core::cancel::interrupted_since(gen0) {
+        eprintln!(
+            "interrupted: journal flushed to {}; re-run with --resume to finish the rest",
+            journal_path.display()
+        );
+        std::process::exit(wa_core::cancel::INTERRUPT_EXIT_CODE);
+    }
     if failures > 0 {
         std::process::exit(1);
     }

@@ -15,11 +15,14 @@
 //! ```json
 //! {"key":"9f..","workload":"matmul-wa","backend":"explicit","scale":"small",
 //!  "depth":1,"status":"ok","attempts":1,"retries_used":0,"wall_ns":123456,
-//!  "wall_ms":0.123,"error":null}
+//!  "wall_ms":0.123,"error":null,"crc":"0123456789abcdef"}
 //! ```
 //!
 //! `status` is `ok` or an [`wa_core::EngineError::kind`] tag
-//! (`panicked`, `timed-out`, `failed`, …).
+//! (`panicked`, `timed-out`, `cancelled`, `failed`, …). `crc` is the
+//! FNV-1a-64 hash (16 hex digits) of the record *without* the crc field:
+//! a record whose checksum fails to verify — a bit flip, not just a torn
+//! tail — is treated as missing on `--resume`, so the cell re-runs.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -51,16 +54,19 @@ pub struct CellOutcome {
 }
 
 impl CellOutcome {
-    /// One JSONL line, stable field order, no trailing newline.
+    /// One JSONL line, stable field order, no trailing newline. The final
+    /// `crc` field is the FNV-1a-64 hash of everything before it (the
+    /// record body up to and including `"error":…`), so readers can
+    /// detect mid-file corruption, not just torn tails.
     pub fn to_jsonl(&self) -> String {
         let error = match &self.error {
             None => "null".to_string(),
             Some(e) => format!("\"{}\"", escape(e)),
         };
-        format!(
+        let body = format!(
             "{{\"key\":\"{}\",\"workload\":\"{}\",\"backend\":\"{}\",\"scale\":\"{}\",\
              \"depth\":{},\"status\":\"{}\",\"attempts\":{},\"retries_used\":{},\
-             \"wall_ns\":{},\"wall_ms\":{:.3},\"error\":{}}}",
+             \"wall_ns\":{},\"wall_ms\":{:.3},\"error\":{}",
             self.key,
             escape(&self.workload),
             self.backend.as_str(),
@@ -72,8 +78,28 @@ impl CellOutcome {
             self.wall_ns,
             self.wall_ns as f64 / 1e6,
             error
-        )
+        );
+        let crc = wa_core::engine::fnv1a64(body.as_bytes());
+        format!("{body},\"crc\":\"{crc:016x}\"}}")
     }
+}
+
+/// Verify a journal line's trailing `crc` field against the body it
+/// covers. Returns false for lines without a crc (pre-checksum journals
+/// are conservatively re-run) and for any mismatch.
+fn crc_ok(line: &str) -> bool {
+    let Some(idx) = line.rfind(",\"crc\":\"") else {
+        return false;
+    };
+    let body = &line[..idx];
+    let rest = &line[idx + ",\"crc\":\"".len()..];
+    let Some(hex) = rest.strip_suffix("\"}") else {
+        return false;
+    };
+    let Ok(stored) = u64::from_str_radix(hex, 16) else {
+        return false;
+    };
+    wa_core::engine::fnv1a64(body.as_bytes()) == stored
 }
 
 fn escape(s: &str) -> String {
@@ -103,12 +129,17 @@ fn extract_str_field<'a>(line: &'a str, field: &str) -> Option<&'a str> {
 }
 
 /// Read a journal, returning each cell key's *last* recorded status.
-/// Malformed lines (a torn write from a killed sweep) are skipped.
+/// Malformed lines (a torn write from a killed sweep) and lines whose
+/// trailing checksum fails to verify (a mid-file bit flip) are skipped,
+/// so the cells they named re-run on `--resume`.
 pub fn completed_cells(path: &Path) -> std::io::Result<BTreeMap<String, String>> {
     let mut map = BTreeMap::new();
     let f = BufReader::new(File::open(path)?);
     for line in f.lines() {
         let line = line?;
+        if !crc_ok(&line) {
+            continue;
+        }
         if let (Some(key), Some(status)) = (
             extract_str_field(&line, "key"),
             extract_str_field(&line, "status"),
@@ -182,7 +213,24 @@ mod tests {
         assert!(line.contains("\"wall_ms\":0.000"));
         assert!(line.contains("\\\"no\\\"\\nnewline"));
         let ok = outcome("abc123", "ok", None).to_jsonl();
-        assert!(ok.ends_with("\"error\":null}"));
+        assert!(ok.contains("\"error\":null,\"crc\":\""));
+        assert!(ok.ends_with("\"}"));
+    }
+
+    #[test]
+    fn crc_verifies_and_rejects_flips() {
+        let line = outcome("abc123", "ok", None).to_jsonl();
+        assert!(crc_ok(&line), "freshly written line must verify");
+        // A single-character flip in the body invalidates the checksum.
+        let flipped = line.replacen("\"status\":\"ok\"", "\"status\":\"oj\"", 1);
+        assert_ne!(line, flipped);
+        assert!(!crc_ok(&flipped));
+        // Lines without a crc (legacy journals) are conservatively
+        // treated as unverified.
+        assert!(!crc_ok("{\"key\":\"k\",\"status\":\"ok\",\"error\":null}"));
+        // A corrupted crc field itself also fails.
+        let bad_crc = line[..line.len() - 3].to_string() + "zz\"}";
+        assert!(!crc_ok(&bad_crc));
     }
 
     #[test]

@@ -1,15 +1,17 @@
 //! End-to-end proof that the engine's fault-isolation layer works against
 //! the *real* registry: injected panics are contained to their cell,
-//! injected stalls trip the watchdog, retries recover deterministically,
-//! and injected counter corruption is visible downstream — while every
-//! untargeted cell of the sweep completes normally.
+//! injected stalls are cancelled cooperatively (the worker observes the
+//! token and *joins* — no leaked threads), retries recover
+//! deterministically, and injected counter corruption is rejected by the
+//! report validator — while every untargeted cell of the sweep completes
+//! normally.
 
 use std::time::Duration;
 use wa_bench::registry::registry;
 use wa_core::engine::{BackendKind, EngineError, RunCfg, RunLimits};
-use wa_core::fault::{FaultPlan, CORRUPTION_OFFSET};
+use wa_core::fault::FaultPlan;
 use wa_core::par::par_map_fallible;
-use wa_core::Scale;
+use wa_core::{CancelReason, Scale};
 
 /// The acceptance scenario: one cell panics, one stalls past its
 /// deadline, and the sweep still completes every remaining cell, with the
@@ -44,17 +46,71 @@ fn sweep_with_injected_panic_and_stall_completes_all_other_cells() {
         match res {
             Ok(r) => assert_eq!(&r.workload, name),
             Err(e) => {
+                if name == "lu-wa" {
+                    // The stalled cell is cancelled *cooperatively*: the
+                    // worker observed the token mid-stall and was joined,
+                    // so the error carries the deadline reason.
+                    match e {
+                        EngineError::Cancelled { reason, .. } => {
+                            assert_eq!(*reason, CancelReason::Deadline)
+                        }
+                        other => panic!("stalled cell must cancel, got {other:?}"),
+                    }
+                }
                 kinds.insert(name.as_str(), e.kind());
             }
         }
     }
     assert_eq!(kinds.get("matmul-wa"), Some(&"panicked"));
-    assert_eq!(kinds.get("lu-wa"), Some(&"timed-out"));
+    assert_eq!(kinds.get("lu-wa"), Some(&"cancelled"));
     assert_eq!(
         kinds.len(),
         2,
         "only the targeted cells may fail: {kinds:?}"
     );
+}
+
+/// Satellite 1: a deadline-cancelled worker must *join*, not leak. After
+/// a stalled cell is cancelled, no `wa-cell-*` worker thread may remain
+/// in this process's task list.
+#[test]
+fn cancelled_worker_threads_join_and_do_not_leak() {
+    let mut reg = registry();
+    reg.set_fault_plan(Some(FaultPlan::parse("trsm-wa:stall=5000").unwrap()));
+    let cfg = RunCfg::new(BackendKind::Explicit, Scale::Small)
+        .with_limits(RunLimits::new(Some(Duration::from_millis(150)), 0));
+    match reg.run_cfg("trsm-wa", cfg) {
+        Err(EngineError::Cancelled {
+            workload,
+            reason,
+            elapsed,
+            ..
+        }) => {
+            assert_eq!(workload, "trsm-wa");
+            assert_eq!(reason, CancelReason::Deadline);
+            assert!(elapsed >= Duration::from_millis(150), "{elapsed:?}");
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    // run_cfg returned, so the worker was joined — its named thread must
+    // be gone. Only this test runs trsm-wa with a deadline, so the exact
+    // name cannot collide with workers of concurrently running tests.
+    let leaked: Vec<String> = live_thread_names()
+        .into_iter()
+        .filter(|n| n == "wa-cell-trsm-wa")
+        .collect();
+    assert!(leaked.is_empty(), "leaked cell workers: {leaked:?}");
+}
+
+/// Every thread name in this process, via /proc (Linux-only, like CI).
+fn live_thread_names() -> Vec<String> {
+    let mut names = Vec::new();
+    for e in std::fs::read_dir("/proc/self/task").unwrap() {
+        if let Ok(n) = std::fs::read_to_string(e.unwrap().path().join("comm")) {
+            names.push(n.trim().to_string());
+        }
+    }
+    names
 }
 
 #[test]
@@ -102,27 +158,35 @@ fn panic_then_retry_succeeds_and_is_deterministic() {
 }
 
 #[test]
-fn corrupted_counters_break_cross_model_agreement() {
-    // matmul-wa's explicit and simmed slow writes agree exactly (the
-    // conformance suite's Exact cell); injecting corruption into the
-    // simmed run must produce a detectable disagreement of exactly the
-    // corruption offset — proving a counter-corruption fault cannot slip
-    // through the agreement checks.
+fn corrupted_counters_are_rejected_by_the_report_validator() {
+    // `corrupt` bumps writes_per_level and flops but leaves the boundary
+    // traffic alone, so backing-store conservation breaks. The engine
+    // validates every attempt's report, so the corruption surfaces as a
+    // typed `ReportInvariant` at the faulted cell instead of poisoning a
+    // cross-model comparison three tables later.
     let mut reg = registry();
     reg.set_fault_plan(Some(FaultPlan::parse("matmul-wa:corrupt@1").unwrap()));
-    let corrupted = reg
-        .run_cfg("matmul-wa", RunCfg::new(BackendKind::Simmed, Scale::Small))
-        .unwrap();
-    let clean_explicit = reg
-        .run_cfg(
-            "matmul-wa",
-            RunCfg::new(BackendKind::Explicit, Scale::Small),
-        )
-        .unwrap();
-    let c = corrupted.slow_traffic().writes_to_slow();
-    let e = clean_explicit.slow_traffic().writes_to_slow();
-    assert_eq!(c, e + CORRUPTION_OFFSET, "corruption must be visible");
-    assert!(corrupted.notes.iter().any(|n| n.contains("fault-injected")));
+    match reg.run_cfg("matmul-wa", RunCfg::new(BackendKind::Simmed, Scale::Small)) {
+        Err(EngineError::ReportInvariant {
+            workload,
+            violation,
+        }) => {
+            assert_eq!(workload, "matmul-wa");
+            assert!(
+                violation.contains("backing-store conservation"),
+                "{violation}"
+            );
+        }
+        other => panic!("expected ReportInvariant, got {other:?}"),
+    }
+    // The fault fired on invocation 1 only, and an invariant violation is
+    // retriable (a bit flip is transient): one retry recovers the cell.
+    let mut reg = registry();
+    reg.set_fault_plan(Some(FaultPlan::parse("matmul-wa:corrupt@1").unwrap()));
+    let cfg = RunCfg::new(BackendKind::Simmed, Scale::Small).with_limits(RunLimits::new(None, 1));
+    let (res, attempts) = reg.run_cfg_traced("matmul-wa", cfg);
+    assert!(res.is_ok(), "{res:?}");
+    assert_eq!(attempts, 2, "corrupt@1 must cost exactly one retry");
 }
 
 #[test]

@@ -99,14 +99,14 @@ fn faulted_sweep_exits_nonzero_journals_failures_and_resumes() {
     );
     assert!(
         csv.lines()
-            .any(|l| l.starts_with("lu-wa,") && l.ends_with(",timed-out")),
-        "{csv}"
+            .any(|l| l.starts_with("lu-wa,") && l.ends_with(",cancelled")),
+        "stalled cells are cancelled cooperatively: {csv}"
     );
     let ok_rows = csv.lines().filter(|l| l.ends_with(",ok")).count();
     assert!(ok_rows >= 4, "untargeted cells must complete: {csv}");
     let j = std::fs::read_to_string(&journal).unwrap();
     assert!(j.contains("\"status\":\"panicked\""), "{j}");
-    assert!(j.contains("\"status\":\"timed-out\""), "{j}");
+    assert!(j.contains("\"status\":\"cancelled\""), "{j}");
 
     // Pass 2: --resume without faults re-runs ONLY the two failed cells
     // and exits 0; the journal ends up all-ok.
@@ -178,6 +178,133 @@ fn fail_fast_skips_later_cells_and_resume_picks_them_up() {
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
     let rows = stdout(&out).lines().count() - 1;
     assert!(rows >= 6, "skipped cells must re-run on resume, got {rows}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Satellite 2: a mid-file bit flip fails the record's FNV-1a checksum,
+/// so `--resume` treats the cell as missing and re-runs exactly it.
+#[test]
+fn journal_bit_flip_fails_the_checksum_and_resume_reruns_that_cell() {
+    let dir = tmp_dir("bitflip");
+    let journal = dir.join("j.jsonl");
+    let out = harness().args(sweep_args(&journal)).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+
+    // Flip one byte inside a mid-file record (not a torn tail): the
+    // second line's status field.
+    let j = std::fs::read_to_string(&journal).unwrap();
+    let mut lines: Vec<String> = j.lines().map(str::to_string).collect();
+    assert!(lines.len() >= 3, "{j}");
+    let flipped = lines[1].replacen("\"status\":\"ok\"", "\"status\":\"oj\"", 1);
+    assert_ne!(flipped, lines[1], "expected an ok record to corrupt");
+    let victim = lines[1]
+        .split("\"workload\":\"")
+        .nth(1)
+        .unwrap()
+        .split('"')
+        .next()
+        .unwrap()
+        .to_string();
+    lines[1] = flipped;
+    std::fs::write(&journal, lines.join("\n") + "\n").unwrap();
+
+    // The flipped record still *parses* — only the checksum catches it.
+    let out = harness()
+        .args(sweep_args(&journal))
+        .arg("--resume")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let csv = stdout(&out);
+    let rows: Vec<&str> = csv.lines().skip(1).collect();
+    assert_eq!(
+        rows.len(),
+        1,
+        "exactly the checksum-failed cell re-runs: {csv}"
+    );
+    assert!(rows[0].starts_with(&format!("{victim},")), "{csv}");
+    assert!(rows[0].ends_with(",ok"), "{csv}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Satellite 6 (the CI smoke, pinned as a test too): SIGINT mid-sweep
+/// cancels the in-flight cell, flushes the journal, and exits the
+/// documented resumable code 130; `--resume` then completes only the
+/// unfinished cells.
+#[test]
+fn sigint_mid_sweep_exits_resumable_and_resume_completes_the_rest() {
+    let dir = tmp_dir("sigint");
+    let journal = dir.join("j.jsonl");
+    // Single-threaded so the journal order is deterministic: the first
+    // cells complete, then lu-wa stalls long enough to be interrupted.
+    let child = harness()
+        .args(sweep_args(&journal))
+        .args(["--fault-plan", "lu-wa:stall=30000", "--threads", "1"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Wait until at least one cell is journaled, so resume has both
+    // completed cells to skip and missing cells to run.
+    let t0 = std::time::Instant::now();
+    while std::fs::read_to_string(&journal)
+        .map(|s| s.lines().count())
+        .unwrap_or(0)
+        < 1
+    {
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(30),
+            "sweep never journaled a cell"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let killed = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(killed.success());
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(130),
+        "SIGINT must exit the documented resumable code; stderr: {}",
+        stderr(&out)
+    );
+    assert!(stderr(&out).contains("interrupted"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--resume"), "{}", stderr(&out));
+    let completed_before: Vec<String> = std::fs::read_to_string(&journal)
+        .unwrap()
+        .lines()
+        .filter(|l| l.contains("\"status\":\"ok\""))
+        .map(|l| {
+            l.split("\"workload\":\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    assert!(!completed_before.is_empty());
+
+    // Resume (no fault plan) completes only the unfinished cells.
+    let out = harness()
+        .args(sweep_args(&journal))
+        .arg("--resume")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let csv = stdout(&out);
+    let rows: Vec<&str> = csv.lines().skip(1).collect();
+    assert!(!rows.is_empty(), "the interrupted cells must re-run: {csv}");
+    assert!(rows.iter().all(|r| r.ends_with(",ok")), "{csv}");
+    for done in &completed_before {
+        assert!(
+            !rows.iter().any(|r| r.starts_with(&format!("{done},"))),
+            "cell {done} completed before the interrupt and must not re-run: {csv}"
+        );
+    }
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -298,6 +425,9 @@ fn degenerate_flags_are_usage_errors() {
         vec!["sweep", "--timeout", "nope"],
         vec!["sweep", "--retries", "-3"],
         vec!["sweep", "--fault-plan", "matmul-wa:explode"],
+        vec!["sweep", "--mem-budget", "0"],
+        vec!["sweep", "--mem-budget", "nope"],
+        vec!["sweep", "--degrade"], // requires --mem-budget
         vec!["run", "matmul-wa", "--timeout", "0"],
         vec!["sweep", "--curve", "--backend", "simmed"],
         vec!["curve"],

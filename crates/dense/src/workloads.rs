@@ -84,6 +84,21 @@ fn l3_sim(m: usize) -> MemSim {
     MemSim::single_level_lru(m)
 }
 
+/// Footprint estimator for a dense kernel touching `mats` n×n f64
+/// matrices: the dimension follows the same geometry the run uses
+/// ([`deep_geometry`] past depth 1, [`sim_block_and_dim`] otherwise), so
+/// `RunLimits::mem_budget` preflights against the real staging size.
+fn dense_footprint(mats: u64) -> impl Fn(Scale, usize) -> u64 {
+    move |scale, depth| {
+        let n = if depth > 1 {
+            deep_geometry(scale, depth).2
+        } else {
+            sim_block_and_dim(scale).1
+        };
+        mats * (n as u64) * (n as u64) * 8
+    }
+}
+
 /// Stage three matrices into a fresh memory, returning `(descs, data)`.
 fn stage(mats: &[&Mat]) -> (Vec<crate::MatDesc>, Vec<f64>) {
     let shapes: Vec<(usize, usize)> = mats.iter().map(|m| (m.rows(), m.cols())).collect();
@@ -262,31 +277,39 @@ fn matmul_workload(
     } else {
         &[]
     };
-    FnWorkload::boxed_deep(name, "dense", description, &backends, depths, move |cfg| {
-        let RunCfg { backend, scale, .. } = cfg;
-        if cfg.depth > 1 {
-            return run_matmul_wa_deep(cfg);
-        }
-        let (bsize, n) = sim_block_and_dim(scale);
-        let a = Mat::random(n, n, 11);
-        let b = Mat::random(n, n, 12);
-        if backend == BackendKind::Explicit {
-            let order = order.expect("explicit requires a loop order");
-            let mut c = Mat::zeros(n, n);
-            let mut h = ExplicitHier::two_level(fast_words(scale) as u64);
-            let (_, ns) = timed(|| explicit_mm_two_level(&a, &b, &mut c, &mut h, order));
-            let mut r = explicit_report(&h, base_report(name, backend, scale, n))
-                .config("order", format!("{order:?}"));
-            r.wall_ns = ns;
-            return Ok(r);
-        }
-        let c0 = Mat::zeros(n, n);
-        run_mem_kernel(name, backend, scale, &[&a, &b, &c0], |mem, d| match order {
-            Some(o) => blocked_matmul(mem, d[0], d[1], d[2], bsize, o),
-            None => co_matmul(mem, d[0], d[1], d[2], 16),
-        })
-        .map(|r| r.config("block", bsize))
-    })
+    FnWorkload::boxed_sized(
+        name,
+        "dense",
+        description,
+        &backends,
+        depths,
+        dense_footprint(3),
+        move |cfg| {
+            let RunCfg { backend, scale, .. } = cfg;
+            if cfg.depth > 1 {
+                return run_matmul_wa_deep(cfg);
+            }
+            let (bsize, n) = sim_block_and_dim(scale);
+            let a = Mat::random(n, n, 11);
+            let b = Mat::random(n, n, 12);
+            if backend == BackendKind::Explicit {
+                let order = order.expect("explicit requires a loop order");
+                let mut c = Mat::zeros(n, n);
+                let mut h = ExplicitHier::two_level(fast_words(scale) as u64);
+                let (_, ns) = timed(|| explicit_mm_two_level(&a, &b, &mut c, &mut h, order));
+                let mut r = explicit_report(&h, base_report(name, backend, scale, n))
+                    .config("order", format!("{order:?}"));
+                r.wall_ns = ns;
+                return Ok(r);
+            }
+            let c0 = Mat::zeros(n, n);
+            run_mem_kernel(name, backend, scale, &[&a, &b, &c0], |mem, d| match order {
+                Some(o) => blocked_matmul(mem, d[0], d[1], d[2], bsize, o),
+                None => co_matmul(mem, d[0], d[1], d[2], 16),
+            })
+            .map(|r| r.config("block", bsize))
+        },
+    )
 }
 
 pub fn workloads() -> Vec<Box<dyn Workload>> {
@@ -347,11 +370,13 @@ fn trsm_workload(name: &'static str, description: &'static str, wa: bool) -> Box
         BackendKind::Explicit,
         BackendKind::Stack,
     ];
-    FnWorkload::boxed(
+    FnWorkload::boxed_sized(
         name,
         "dense",
         description,
         &backends,
+        &[],
+        dense_footprint(4),
         move |RunCfg { backend, scale, .. }| {
             let (bsize, n) = sim_block_and_dim(scale);
             let t = Mat::random_upper_triangular(n, 21);
@@ -392,11 +417,13 @@ fn cholesky_workload(name: &'static str, description: &'static str, wa: bool) ->
         BackendKind::Explicit,
         BackendKind::Stack,
     ];
-    FnWorkload::boxed(
+    FnWorkload::boxed_sized(
         name,
         "dense",
         description,
         &backends,
+        &[],
+        dense_footprint(3),
         move |RunCfg { backend, scale, .. }| {
             let (bsize, n) = sim_block_and_dim(scale);
             let spd = Mat::random_spd(n, 31);
@@ -439,11 +466,13 @@ fn lu_workload(
         BackendKind::Explicit,
         BackendKind::Stack,
     ];
-    FnWorkload::boxed(
+    FnWorkload::boxed_sized(
         name,
         "dense",
         description,
         &backends,
+        &[],
+        dense_footprint(3),
         move |RunCfg { backend, scale, .. }| {
             let (bsize, n) = sim_block_and_dim(scale);
             let a = Mat::random_diagdom(n, 41);

@@ -31,11 +31,17 @@ fn sort_workload(
     selection: bool,
 ) -> Box<dyn Workload> {
     let backends = [BackendKind::Raw, BackendKind::Explicit];
-    FnWorkload::boxed(
+    FnWorkload::boxed_sized(
         name,
         "extsort",
         description,
         &backends,
+        &[],
+        // The n-element input plus merge scratch, with slack.
+        |scale, _| {
+            let (n, _) = problem(scale);
+            3 * n as u64 * 8
+        },
         move |wa_core::engine::RunCfg { backend, scale, .. }| {
             let (n, m) = problem(scale);
             let mut data = random_data(n);

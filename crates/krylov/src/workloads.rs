@@ -128,12 +128,18 @@ fn solver_workload(
         BackendKind::Stack,
     ];
     let depths = [(BackendKind::Simmed, 3)];
-    FnWorkload::boxed_deep(
+    FnWorkload::boxed_sized(
         name,
         "krylov",
         description,
         &backends,
         &depths,
+        // 5-point Laplacian in CSR (~5 nnz/row at 16 B each) plus the
+        // handful of g²-length CG work vectors, with slack.
+        |scale, _| {
+            let g = grid(scale) as u64;
+            g * g * 200
+        },
         move |RunCfg {
                   backend,
                   scale,
@@ -208,12 +214,21 @@ fn tsqr_workload(name: &'static str, description: &'static str, store: bool) -> 
         BackendKind::Stack,
     ];
     let depths = [(BackendKind::Simmed, 3)];
-    FnWorkload::boxed_deep(
+    FnWorkload::boxed_sized(
         name,
         "krylov",
         description,
         &backends,
         &depths,
+        // Worst case (storing variant): every 64×8 row block resident
+        // plus Q/R factors — 3× the raw block storage covers both modes.
+        |scale, _| {
+            let nblocks: u64 = match scale {
+                Scale::Small => 16,
+                Scale::Paper => 64,
+            };
+            3 * nblocks * 64 * 8 * 8
+        },
         move |RunCfg {
                   backend,
                   scale,

@@ -218,6 +218,7 @@ impl TraceMem {
 impl Mem for TraceMem {
     #[inline]
     fn ld(&mut self, addr: usize) -> f64 {
+        wa_core::cancel::tick(1);
         self.trace.push(Access {
             addr,
             is_write: false,
@@ -227,6 +228,7 @@ impl Mem for TraceMem {
 
     #[inline]
     fn st(&mut self, addr: usize, v: f64) {
+        wa_core::cancel::tick(1);
         self.trace.push(Access {
             addr,
             is_write: true,

@@ -124,6 +124,11 @@ pub struct StackSim {
     /// Dirty-eviction interval emissions (see module docs).
     wb_lo: Vec<u64>,
     wb_hi: Vec<u64>,
+    /// Cancel token captured at construction (see [`crate::MemSim`]).
+    cancel_token: Option<wa_core::CancelToken>,
+    /// Word-access count at which the token is next polled; `u64::MAX`
+    /// when no token is installed.
+    cancel_check_at: u64,
 }
 
 impl Default for StackSim {
@@ -158,6 +163,12 @@ impl StackSim {
 
     pub fn with_line_words(line_words: usize) -> StackSim {
         assert!(line_words > 0, "line size must be positive");
+        let cancel_token = wa_core::cancel::current();
+        let cancel_check_at = if cancel_token.is_some() {
+            wa_core::cancel::CHECK_INTERVAL
+        } else {
+            u64::MAX
+        };
         StackSim {
             line_words,
             tick: 0,
@@ -172,6 +183,21 @@ impl StackSim {
             dist: Vec::new(),
             wb_lo: Vec::new(),
             wb_hi: Vec::new(),
+            cancel_token,
+            cancel_check_at,
+        }
+    }
+
+    /// Poll the captured cancel token (cold branch of the per-access
+    /// check) and unwind with the current access count if it has fired.
+    #[cold]
+    fn cancel_checkpoint(&mut self) {
+        self.cancel_check_at = self.word_accesses + wa_core::cancel::CHECK_INTERVAL;
+        if let Some(t) = &self.cancel_token {
+            if t.is_cancelled() {
+                let reason = t.reason().unwrap_or(wa_core::CancelReason::Deadline);
+                wa_core::cancel::raise(self.word_accesses, reason);
+            }
         }
     }
 
@@ -193,6 +219,9 @@ impl StackSim {
     #[inline]
     pub fn read(&mut self, addr: usize) {
         self.word_accesses += 1;
+        if self.word_accesses >= self.cancel_check_at {
+            self.cancel_checkpoint();
+        }
         self.touch_line(addr as u64 / self.line_words as u64, false);
     }
 
@@ -200,6 +229,9 @@ impl StackSim {
     #[inline]
     pub fn write(&mut self, addr: usize) {
         self.word_accesses += 1;
+        if self.word_accesses >= self.cancel_check_at {
+            self.cancel_checkpoint();
+        }
         self.touch_line(addr as u64 / self.line_words as u64, true);
     }
 
@@ -233,6 +265,9 @@ impl StackSim {
             let line_end = (a / lw + 1) * lw;
             let in_line = line_end.min(end) - a;
             self.word_accesses += in_line as u64;
+            if self.word_accesses >= self.cancel_check_at {
+                self.cancel_checkpoint();
+            }
             self.touch_line(a as u64 / lw as u64, is_write);
             if in_line > 1 {
                 // The remaining words of the interval are distance-0

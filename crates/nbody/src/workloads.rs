@@ -38,6 +38,14 @@ fn base(name: &str, backend: BackendKind, scale: Scale, n: usize) -> RunReport {
     RunReport::new(name, backend, scale).config("n_particles", n)
 }
 
+/// Footprint estimate shared by the n-body workloads: the particle cloud
+/// plus the force output, doubled for slack (every variant's N is bounded
+/// by [`particles_geometry`]'s).
+fn nbody_footprint(scale: Scale, _depth: usize) -> u64 {
+    let (_, n) = particles_geometry(scale);
+    2 * (n as u64) * (WORDS_PER_BODY as u64 + 3) * 8
+}
+
 fn explicit_run(
     name: &str,
     scale: Scale,
@@ -56,7 +64,7 @@ fn explicit_run(
 
 pub fn workloads() -> Vec<Box<dyn Workload>> {
     vec![
-        FnWorkload::boxed(
+        FnWorkload::boxed_sized(
             "nbody-wa",
             "nbody",
             "Algorithm 4 blocked (N,2)-body: N + N^2/b loads, N stores (the output)",
@@ -66,6 +74,8 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
                 BackendKind::Explicit,
                 BackendKind::Stack,
             ],
+            &[],
+            nbody_footprint,
             |wa_core::engine::RunCfg { backend, scale, .. }| match backend {
                 BackendKind::Explicit => Ok(explicit_run("nbody-wa", scale, |p, h| {
                     explicit_nbody_wa(p, h)
@@ -128,22 +138,26 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
                 }),
             },
         ),
-        FnWorkload::boxed(
+        FnWorkload::boxed_sized(
             "nbody-symmetric",
             "nbody",
             "symmetric (Newton 3rd law) N-body: half the flops, Theta(N^2/b) stores (4.4)",
             &[BackendKind::Explicit],
+            &[],
+            nbody_footprint,
             |wa_core::engine::RunCfg { scale, .. }| {
                 Ok(explicit_run("nbody-symmetric", scale, |p, h| {
                     explicit_nbody_symmetric(p, h)
                 }))
             },
         ),
-        FnWorkload::boxed(
+        FnWorkload::boxed_sized(
             "kbody-3",
             "nbody",
             "(N,3)-body with b = M/4 blocks: WA generalization of Algorithm 4",
             &[BackendKind::Explicit],
+            &[],
+            nbody_footprint,
             |wa_core::engine::RunCfg { scale, .. }| {
                 // The (N,3)-body sweep is O(N^3/b); shrink N to keep the
                 // run interactive.

@@ -25,6 +25,14 @@ fn dim(scale: Scale) -> usize {
     }
 }
 
+/// Footprint estimate shared by the distributed-matmul workloads: the
+/// global n×n operands/result plus the per-node tile replicas the
+/// [`Machine`] stages (≤ 2× replication in the 2.5D variant), with slack.
+fn parallel_footprint(scale: Scale, _depth: usize) -> u64 {
+    let n = dim(scale) as u64;
+    8 * n * n * 8
+}
+
 /// Project critical-path node counters onto the report hierarchy.
 fn machine_report(name: &str, scale: Scale, m: &Machine) -> RunReport {
     let c = m.max_counters();
@@ -103,11 +111,13 @@ fn finish(
 pub fn workloads() -> Vec<Box<dyn Workload>> {
     let backends = [BackendKind::Raw, BackendKind::Explicit];
     vec![
-        FnWorkload::boxed(
+        FnWorkload::boxed_sized(
             "summa",
             "parallel",
             "classic SUMMA with L2 staging: 2n^2/sqrt(P) network words, no NVM traffic (7.1)",
             &backends,
+            &[],
+            parallel_footprint,
             move |wa_core::engine::RunCfg { backend, scale, .. }| {
                 let n = dim(scale);
                 let q = 4;
@@ -126,11 +136,13 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
                 )
             },
         ),
-        FnWorkload::boxed(
+        FnWorkload::boxed_sized(
             "summa-ool2",
             "parallel",
             "SUMMAL3ooL2 (Model 2.2): tiles computed entirely in L2, attains W1 = n^2/P NVM writes",
             &backends,
+            &[],
+            parallel_footprint,
             move |wa_core::engine::RunCfg { backend, scale, .. }| {
                 let n = dim(scale);
                 let (q, m2) = (4usize, 48u64);
@@ -153,11 +165,13 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
                 )
             },
         ),
-        FnWorkload::boxed(
+        FnWorkload::boxed_sized(
             "cannon",
             "parallel",
             "Cannon's algorithm with L2 staging: same W1, lower network volume",
             &backends,
+            &[],
+            parallel_footprint,
             move |wa_core::engine::RunCfg { backend, scale, .. }| {
                 let n = dim(scale);
                 let q = 4;
@@ -176,11 +190,13 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
                 )
             },
         ),
-        FnWorkload::boxed(
+        FnWorkload::boxed_sized(
             "mm25d",
             "parallel",
             "2.5D matmul (c=2 replication): trades memory for W2 = n^2/sqrt(Pc) network words",
             &backends,
+            &[],
+            parallel_footprint,
             move |wa_core::engine::RunCfg { backend, scale, .. }| {
                 let n = dim(scale);
                 let (p, c) = (18usize, 2usize);
@@ -206,11 +222,13 @@ pub fn workloads() -> Vec<Box<dyn Workload>> {
                 )
             },
         ),
-        FnWorkload::boxed(
+        FnWorkload::boxed_sized(
             "lu-parallel",
             "parallel",
             "LL-LUNP: left-looking parallel LU, the WA order of 7.2",
             &backends,
+            &[],
+            parallel_footprint,
             move |wa_core::engine::RunCfg { backend, scale, .. }| {
                 let n = dim(scale);
                 let mut a = Mat::random(n, n, 107);

@@ -119,6 +119,11 @@ pub const MAX_DEPTH_CAP: usize = 8;
 /// past this the config is degenerate, not cautious.
 pub const MAX_RETRIES_CAP: u32 = 16;
 
+/// Default [`Workload::footprint_bytes`]: 1 GiB, a deliberate
+/// over-estimate so workloads without a declared size are treated as big
+/// under any realistic [`RunLimits::mem_budget`].
+pub const DEFAULT_FOOTPRINT_BYTES: u64 = 1 << 30;
+
 /// Execution-policy limits for one dispatch: how long a cell may run and
 /// how often a *retriable* failure (panic, timeout, transient error) is
 /// re-attempted. Limits never change what a workload computes — they are
@@ -130,11 +135,35 @@ pub struct RunLimits {
     pub timeout: Option<Duration>,
     /// Extra attempts after a retriable failure (0 = single attempt).
     pub retries: u32,
+    /// Footprint budget in bytes, checked against
+    /// [`Workload::footprint_bytes`] *before* dispatch. `None` (the
+    /// default) admits everything. An over-budget cell is rejected as
+    /// `InvalidConfig`, or — with [`RunLimits::degrade`] — downgraded
+    /// along the degradation ladder (depth → 1, scale → small,
+    /// backend → traced) until it fits.
+    pub mem_budget: Option<u64>,
+    /// Degrade over-budget cells instead of rejecting them; the
+    /// substitution is recorded in the report (`degraded_from` config
+    /// entry plus a note).
+    pub degrade: bool,
 }
 
 impl RunLimits {
     pub fn new(timeout: Option<Duration>, retries: u32) -> Self {
-        RunLimits { timeout, retries }
+        RunLimits {
+            timeout,
+            retries,
+            mem_budget: None,
+            degrade: false,
+        }
+    }
+
+    /// Builder form for attaching a footprint budget (and the degrade
+    /// policy) to existing limits.
+    pub fn with_mem_budget(mut self, budget: u64, degrade: bool) -> Self {
+        self.mem_budget = Some(budget);
+        self.degrade = degrade;
+        self
     }
 }
 
@@ -249,12 +278,16 @@ impl RunCfg {
                 "exceeds the engine-wide retry cap",
             );
         }
+        if self.limits.mem_budget == Some(0) {
+            return invalid("mem_budget", "0".into(), "a zero budget admits nothing");
+        }
         Ok(())
     }
 }
 
 /// FNV-1a over bytes: tiny, dependency-free, stable across platforms.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// Public because the sweep journal reuses it as the per-record checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -306,11 +339,32 @@ pub enum EngineError {
         workload: String,
         payload: String,
     },
-    /// The dispatch outlived its [`RunLimits::timeout`] deadline.
+    /// The dispatch outlived its [`RunLimits::timeout`] deadline *and*
+    /// never observed the fired cancel token within the grace period —
+    /// the worker thread could not be stopped and was detached. Only
+    /// cells whose execution path has no cancellation checkpoints (raw
+    /// busy loops, foreign blocking calls) end up here; instrumented
+    /// kernels produce [`EngineError::Cancelled`] instead.
     TimedOut {
         workload: String,
         elapsed: Duration,
         deadline: Duration,
+    },
+    /// The attempt observed a fired [`crate::cancel::CancelToken`] and
+    /// unwound cooperatively — the worker thread *joined*; no orphan
+    /// work is left behind. `after_accesses` is the observing counter's
+    /// access count at the checkpoint that saw the token.
+    Cancelled {
+        workload: String,
+        reason: crate::cancel::CancelReason,
+        after_accesses: u64,
+        elapsed: Duration,
+    },
+    /// The attempt produced a report that failed
+    /// [`RunReport::validate`]'s structural invariants.
+    ReportInvariant {
+        workload: String,
+        violation: String,
     },
     /// A transient failure the caller (or the engine's retry loop) may
     /// re-attempt — the variant workloads return for recoverable faults.
@@ -335,6 +389,8 @@ impl EngineError {
             EngineError::InvalidConfig { .. } => "invalid-config",
             EngineError::Panicked { .. } => "panicked",
             EngineError::TimedOut { .. } => "timed-out",
+            EngineError::Cancelled { .. } => "cancelled",
+            EngineError::ReportInvariant { .. } => "report-invariant",
             EngineError::Retriable { .. } => "retriable",
             EngineError::Failed { .. } => "failed",
         }
@@ -342,13 +398,21 @@ impl EngineError {
 
     /// Whether the engine's retry loop may re-attempt after this error.
     /// Config/registry errors are permanent: retrying a typo is futile.
+    /// A deadline cancellation is retriable (the next attempt gets a
+    /// fresh deadline); an interrupt cancellation is not (the process is
+    /// shutting down). A report-invariant failure is retriable: the
+    /// canonical cause is a one-shot corruption fault.
     pub fn is_retriable(&self) -> bool {
-        matches!(
-            self,
+        match self {
             EngineError::Panicked { .. }
-                | EngineError::TimedOut { .. }
-                | EngineError::Retriable { .. }
-        )
+            | EngineError::TimedOut { .. }
+            | EngineError::ReportInvariant { .. }
+            | EngineError::Retriable { .. } => true,
+            EngineError::Cancelled { reason, .. } => {
+                *reason == crate::cancel::CancelReason::Deadline
+            }
+            _ => false,
+        }
     }
 }
 
@@ -408,6 +472,29 @@ impl fmt::Display for EngineError {
                     deadline.as_secs_f64() * 1e3
                 )
             }
+            EngineError::Cancelled {
+                workload,
+                reason,
+                after_accesses,
+                elapsed,
+            } => {
+                write!(
+                    f,
+                    "workload `{workload}` cancelled ({}) after {after_accesses} accesses, \
+                     {:.1} ms",
+                    reason.as_str(),
+                    elapsed.as_secs_f64() * 1e3
+                )
+            }
+            EngineError::ReportInvariant {
+                workload,
+                violation,
+            } => {
+                write!(
+                    f,
+                    "workload `{workload}` report invariant violated: {violation}"
+                )
+            }
             EngineError::Retriable { workload, message } => {
                 write!(f, "workload `{workload}` hit a retriable fault: {message}")
             }
@@ -436,6 +523,15 @@ pub trait Workload: Send + Sync {
     fn max_depth(&self, _backend: BackendKind) -> usize {
         1
     }
+    /// Estimated peak footprint in bytes of one run at `(scale, depth)` —
+    /// working arrays plus simulator state, the quantity
+    /// [`RunLimits::mem_budget`] preflights against. The default is a
+    /// deliberate over-estimate ([`DEFAULT_FOOTPRINT_BYTES`]): a workload
+    /// that does not declare its size is assumed big, so budgets stay
+    /// conservative rather than admitting unknown cells.
+    fn footprint_bytes(&self, _scale: Scale, _depth: usize) -> u64 {
+        DEFAULT_FOOTPRINT_BYTES
+    }
     /// Execute the scenario described by `cfg`.
     fn run_cfg(&self, cfg: RunCfg) -> Result<RunReport, EngineError>;
 
@@ -458,6 +554,10 @@ pub struct FnWorkload {
     pub backends: Vec<BackendKind>,
     /// `(backend, max depth)` overrides; backends not listed model depth 1.
     pub depths: Vec<(BackendKind, usize)>,
+    /// Footprint estimator; `None` falls back to the trait default
+    /// ([`DEFAULT_FOOTPRINT_BYTES`]).
+    #[allow(clippy::type_complexity)]
+    pub footprint: Option<Box<dyn Fn(Scale, usize) -> u64 + Send + Sync>>,
     #[allow(clippy::type_complexity)]
     pub run: Box<dyn Fn(RunCfg) -> Result<RunReport, EngineError> + Send + Sync>,
 }
@@ -489,6 +589,31 @@ impl FnWorkload {
             description,
             backends: backends.to_vec(),
             depths: depths.to_vec(),
+            footprint: None,
+            run: Box::new(run),
+        })
+    }
+
+    /// Like [`FnWorkload::boxed_deep`] plus a footprint estimator — the
+    /// registration form the algorithm crates use so
+    /// [`RunLimits::mem_budget`] preflights against real sizes instead of
+    /// the conservative default.
+    pub fn boxed_sized(
+        name: &'static str,
+        group: &'static str,
+        description: &'static str,
+        backends: &[BackendKind],
+        depths: &[(BackendKind, usize)],
+        footprint: impl Fn(Scale, usize) -> u64 + Send + Sync + 'static,
+        run: impl Fn(RunCfg) -> Result<RunReport, EngineError> + Send + Sync + 'static,
+    ) -> Box<dyn Workload> {
+        Box::new(FnWorkload {
+            name,
+            group,
+            description,
+            backends: backends.to_vec(),
+            depths: depths.to_vec(),
+            footprint: Some(Box::new(footprint)),
             run: Box::new(run),
         })
     }
@@ -517,6 +642,13 @@ impl Workload for FnWorkload {
             .find(|(b, _)| *b == backend)
             .map(|(_, d)| *d)
             .unwrap_or(1)
+    }
+
+    fn footprint_bytes(&self, scale: Scale, depth: usize) -> u64 {
+        match &self.footprint {
+            Some(f) => f(scale, depth),
+            None => DEFAULT_FOOTPRINT_BYTES,
+        }
     }
 
     fn run_cfg(&self, cfg: RunCfg) -> Result<RunReport, EngineError> {
@@ -649,7 +781,54 @@ impl Registry {
         if let Err(e) = cfg.validate(name) {
             return (Err(e), 0);
         }
-        let hash = cfg.config_hash(name);
+        // Footprint preflight: refuse (or degrade) a cell that cannot
+        // fit the budget *before* it burns a core.
+        let requested = cfg;
+        let mut cfg = cfg;
+        let mut degraded: Option<String> = None;
+        if let Some(budget) = cfg.limits.mem_budget {
+            let need = w.footprint_bytes(cfg.scale, cfg.depth);
+            if need > budget {
+                if !cfg.limits.degrade {
+                    return (
+                        Err(EngineError::InvalidConfig {
+                            workload: name.to_string(),
+                            field: "mem_budget",
+                            value: budget.to_string(),
+                            reason: format!(
+                                "estimated footprint {need} B exceeds the budget \
+                                 (pass --degrade to downgrade the cell)"
+                            ),
+                        }),
+                        0,
+                    );
+                }
+                match degrade_cfg(w.as_ref(), cfg, budget) {
+                    Some((fit, steps)) => {
+                        cfg = fit;
+                        degraded = Some(steps);
+                    }
+                    None => {
+                        return (
+                            Err(EngineError::InvalidConfig {
+                                workload: name.to_string(),
+                                field: "mem_budget",
+                                value: budget.to_string(),
+                                reason: format!(
+                                    "estimated footprint {need} B exceeds the budget \
+                                     and no degradation rung fits"
+                                ),
+                            }),
+                            0,
+                        );
+                    }
+                }
+            }
+        }
+        // Journal identity and backoff jitter stay keyed to the cell the
+        // caller asked for, degraded or not.
+        let hash = requested.config_hash(name);
+        let gen0 = crate::cancel::process_generation();
         let max_attempts = cfg.limits.retries + 1;
         let mut attempt = 0u32;
         loop {
@@ -659,8 +838,21 @@ impl Registry {
             let res = run_guarded(Arc::clone(w), name, cfg, fault);
             drop(attempt_span);
             match res {
-                Ok(r) => return (Ok(r), attempt),
-                Err(e) if e.is_retriable() && attempt < max_attempts => {
+                Ok(mut r) => {
+                    if let Some(steps) = &degraded {
+                        r = r
+                            .config("degraded_from", requested.cell_key(name))
+                            .note(format!("degraded to fit mem_budget: {steps}"));
+                    }
+                    return (Ok(r), attempt);
+                }
+                // Once the process is interrupted, retrying is pointless:
+                // the sweep is shutting down.
+                Err(e)
+                    if e.is_retriable()
+                        && attempt < max_attempts
+                        && !crate::cancel::interrupted_since(gen0) =>
+                {
                     let _backoff = crate::obs::span("backoff", "engine");
                     std::thread::sleep(backoff_delay(hash, attempt));
                 }
@@ -668,6 +860,36 @@ impl Registry {
             }
         }
     }
+}
+
+/// Walk the degradation ladder until the footprint fits `budget`:
+/// collapse the modeled hierarchy to the two-level model, drop to the
+/// small capacity ladder, and finally fall back to the `traced` backend
+/// (whose cost is the trace, not the simulated hierarchy). Returns the
+/// fitting config and a human-readable description of the rungs taken.
+fn degrade_cfg(w: &dyn Workload, cfg: RunCfg, budget: u64) -> Option<(RunCfg, String)> {
+    let mut cur = cfg;
+    let mut steps: Vec<&'static str> = Vec::new();
+    if cur.depth > 1 {
+        cur.depth = 1;
+        steps.push("depth→1");
+        if w.footprint_bytes(cur.scale, cur.depth) <= budget {
+            return Some((cur, steps.join(", ")));
+        }
+    }
+    if cur.scale == Scale::Paper {
+        cur.scale = Scale::Small;
+        steps.push("scale→small");
+        if w.footprint_bytes(cur.scale, cur.depth) <= budget {
+            return Some((cur, steps.join(", ")));
+        }
+    }
+    if cur.backend != BackendKind::Traced && w.supports(BackendKind::Traced) {
+        cur.backend = BackendKind::Traced;
+        steps.push("backend→traced");
+        return Some((cur, steps.join(", ")));
+    }
+    None
 }
 
 /// One guarded attempt: apply the injected fault, contain panics, and —
@@ -679,36 +901,76 @@ fn run_guarded(
     cfg: RunCfg,
     fault: Option<FaultKind>,
 ) -> Result<RunReport, EngineError> {
+    let token = crate::cancel::CancelToken::new();
     let Some(deadline) = cfg.limits.timeout else {
+        let _guard = crate::cancel::install(token);
         return execute_contained(&*w, name, cfg, fault);
     };
     crate::obs::instant("watchdog:arm", "engine");
     let (tx, rx) = mpsc::channel();
     let owned = name.to_string();
+    let worker_token = token.clone();
     let t0 = Instant::now();
-    std::thread::Builder::new()
+    let handle = std::thread::Builder::new()
         .name(format!("wa-cell-{name}"))
         .spawn(move || {
+            let _guard = crate::cancel::install(worker_token);
             let r = execute_contained(&*w, &owned, cfg, fault);
             let _ = tx.send(r); // receiver may have given up: fine
         })
         .expect("spawn cell worker thread");
     match rx.recv_timeout(deadline) {
-        Ok(r) => r,
+        Ok(r) => {
+            let _ = handle.join();
+            r
+        }
         Err(mpsc::RecvTimeoutError::Timeout) => {
             crate::obs::instant("watchdog:fire", "engine");
-            Err(EngineError::TimedOut {
-                workload: name.to_string(),
-                elapsed: t0.elapsed(),
-                deadline,
-            })
+            token.cancel(crate::cancel::CancelReason::Deadline);
+            // Cooperative workers observe the token within one check
+            // interval; give them a grace window to unwind and join.
+            // A worker stuck in truly uncancellable code (e.g. a raw
+            // syscall) is detached as before — the legacy `TimedOut`
+            // path — so the watchdog never hangs.
+            let grace = deadline.max(Duration::from_millis(250));
+            match rx.recv_timeout(grace) {
+                Ok(Err(e)) => {
+                    let _ = handle.join();
+                    Err(e)
+                }
+                // The worker finished cleanly inside the grace window:
+                // the deadline still governs, so the result is discarded.
+                Ok(Ok(_)) => {
+                    let _ = handle.join();
+                    Err(EngineError::TimedOut {
+                        workload: name.to_string(),
+                        elapsed: t0.elapsed(),
+                        deadline,
+                    })
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => Err(EngineError::TimedOut {
+                    workload: name.to_string(),
+                    elapsed: t0.elapsed(),
+                    deadline,
+                }),
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    let _ = handle.join();
+                    Err(EngineError::Panicked {
+                        workload: name.to_string(),
+                        payload: "cell worker thread vanished".to_string(),
+                    })
+                }
+            }
         }
         // Unreachable in practice: execute_contained never unwinds, so
         // the sender is dropped only after a send.
-        Err(mpsc::RecvTimeoutError::Disconnected) => Err(EngineError::Panicked {
-            workload: name.to_string(),
-            payload: "cell worker thread vanished".to_string(),
-        }),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            let _ = handle.join();
+            Err(EngineError::Panicked {
+                workload: name.to_string(),
+                payload: "cell worker thread vanished".to_string(),
+            })
+        }
     }
 }
 
@@ -729,6 +991,8 @@ fn execute_contained(
     cfg: RunCfg,
     fault: Option<FaultKind>,
 ) -> Result<RunReport, EngineError> {
+    crate::cancel::silence_cancellation_unwinds();
+    let t0 = Instant::now();
     let unwound = std::panic::catch_unwind(AssertUnwindSafe(|| {
         // The guard closes the span on every exit from this closure,
         // including the unwind of an (injected or genuine) panic.
@@ -738,21 +1002,39 @@ fn execute_contained(
         }
         match fault {
             Some(FaultKind::Panic) => panic!("fault-injected panic in `{name}`"),
-            Some(FaultKind::Stall(d)) => std::thread::sleep(d),
+            // A cooperative stall: observes the cancel token in 10 ms
+            // slices, so a stalled cell yields `Cancelled` under a
+            // deadline rather than leaking a detached sleeper.
+            Some(FaultKind::Stall(d)) => crate::cancel::sleep_cooperatively(d),
             Some(FaultKind::Corrupt) | None => {}
         }
         let mut r = w.run_cfg(cfg)?;
         if fault == Some(FaultKind::Corrupt) {
             crate::fault::corrupt_report(&mut r);
         }
+        r.validate()
+            .map_err(|violation| EngineError::ReportInvariant {
+                workload: name.to_string(),
+                violation,
+            })?;
         Ok(r)
     }));
     match unwound {
         Ok(inner) => inner,
-        Err(payload) => Err(EngineError::Panicked {
-            workload: name.to_string(),
-            payload: crate::par::panic_payload_message(payload),
-        }),
+        Err(payload) => {
+            if let Some(c) = payload.downcast_ref::<crate::cancel::CancellationUnwind>() {
+                return Err(EngineError::Cancelled {
+                    workload: name.to_string(),
+                    reason: c.reason,
+                    after_accesses: c.after_accesses,
+                    elapsed: t0.elapsed(),
+                });
+            }
+            Err(EngineError::Panicked {
+                workload: name.to_string(),
+                payload: crate::par::panic_payload_message(payload),
+            })
+        }
     }
 }
 
@@ -1066,6 +1348,179 @@ mod tests {
         );
         assert!(res.is_ok());
         assert_eq!(attempts, 2);
+    }
+
+    #[test]
+    fn cooperative_cancellation_joins_and_reports_accesses() {
+        // The workload spins on `cancel::tick`, never finishing on its
+        // own. The watchdog fires the token at the deadline; the worker
+        // observes it within one check interval, unwinds, and *joins* —
+        // so the whole dispatch returns quickly with `Cancelled`, not
+        // after the (absent) natural end of the run.
+        let mut r = Registry::new();
+        r.register(FnWorkload::boxed(
+            "spinner",
+            "test",
+            "ticks forever until cancelled",
+            &[BackendKind::Raw],
+            |_cfg| loop {
+                crate::cancel::tick(1);
+            },
+        ));
+        let cfg = RunCfg::new(BackendKind::Raw, Scale::Small)
+            .with_limits(RunLimits::new(Some(Duration::from_millis(50)), 0));
+        let t0 = Instant::now();
+        let err = r.run_cfg("spinner", cfg).unwrap_err();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "cancelled worker did not join promptly"
+        );
+        match err {
+            EngineError::Cancelled {
+                reason,
+                after_accesses,
+                elapsed,
+                ..
+            } => {
+                assert_eq!(reason, crate::cancel::CancelReason::Deadline);
+                assert!(after_accesses > 0, "accesses-at-cancel must be recorded");
+                assert!(elapsed >= Duration::from_millis(50));
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert_eq!(err.kind(), "cancelled");
+        assert!(err.is_retriable(), "deadline cancellation is retriable");
+    }
+
+    #[test]
+    fn interrupt_cancellation_is_not_retriable() {
+        let err = EngineError::Cancelled {
+            workload: "w".to_string(),
+            reason: crate::cancel::CancelReason::Interrupt,
+            after_accesses: 7,
+            elapsed: Duration::from_millis(1),
+        };
+        assert!(!err.is_retriable(), "an interrupt must not burn retries");
+        assert_eq!(err.kind(), "cancelled");
+    }
+
+    #[test]
+    fn budget_preflight_rejects_oversized_cells() {
+        let mut r = Registry::new();
+        r.register(FnWorkload::boxed_sized(
+            "big",
+            "test",
+            "claims a 1 MiB footprint",
+            &[BackendKind::Raw],
+            &[],
+            |_, _| 1 << 20,
+            |cfg| Ok(RunReport::new("big", cfg.backend, cfg.scale)),
+        ));
+        let cfg = RunCfg::new(BackendKind::Raw, Scale::Small)
+            .with_limits(RunLimits::new(None, 3).with_mem_budget(1024, false));
+        let (res, attempts) = r.run_cfg_traced("big", cfg);
+        match res {
+            Err(EngineError::InvalidConfig { field, reason, .. }) => {
+                assert_eq!(field, "mem_budget");
+                assert!(reason.contains("--degrade"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        assert_eq!(attempts, 0, "preflight must reject before any attempt");
+        // A budget the footprint fits under runs normally.
+        let roomy = RunCfg::new(BackendKind::Raw, Scale::Small)
+            .with_limits(RunLimits::new(None, 0).with_mem_budget(1 << 21, false));
+        assert!(r.run_cfg("big", roomy).is_ok());
+    }
+
+    #[test]
+    fn degrade_ladder_walks_to_a_fitting_config() {
+        // footprint = depth × 1000 bytes: depth 3 busts a 2000-byte
+        // budget, depth 1 fits, so the first rung (depth→1) suffices.
+        let mut r = Registry::new();
+        r.register(FnWorkload::boxed_sized(
+            "laddered",
+            "test",
+            "footprint scales with depth",
+            &[BackendKind::Raw, BackendKind::Traced],
+            &[(BackendKind::Raw, 3)],
+            |_, depth| depth as u64 * 1000,
+            |cfg| Ok(RunReport::new("laddered", cfg.backend, cfg.scale).config("depth", cfg.depth)),
+        ));
+        let cfg = RunCfg::with_depth(BackendKind::Raw, Scale::Small, 3)
+            .with_limits(RunLimits::new(None, 0).with_mem_budget(2000, true));
+        let rep = r.run_cfg("laddered", cfg).unwrap();
+        assert!(
+            rep.config.iter().any(|(k, v)| k == "depth" && v == "1"),
+            "the cell must actually run at the degraded depth"
+        );
+        let degraded_from = rep
+            .config
+            .iter()
+            .find(|(k, _)| k == "degraded_from")
+            .map(|(_, v)| v.clone())
+            .expect("degraded run must record the requested cell");
+        assert!(degraded_from.contains("laddered"), "{degraded_from}");
+        assert!(rep
+            .notes
+            .iter()
+            .any(|n| n.contains("degraded to fit mem_budget") && n.contains("depth→1")));
+        // No rung fits a 1-byte budget even via traced: every rung's
+        // footprint is still ≥ 1000, so the ladder ends at traced and
+        // accepts it (the trace itself is the cost, not the hierarchy).
+        let tiny = RunCfg::with_depth(BackendKind::Raw, Scale::Small, 3)
+            .with_limits(RunLimits::new(None, 0).with_mem_budget(1, true));
+        let rep = r.run_cfg("laddered", tiny).unwrap();
+        assert_eq!(rep.backend, BackendKind::Traced);
+        // Without traced support the same budget is a hard reject.
+        let mut r2 = Registry::new();
+        r2.register(FnWorkload::boxed_sized(
+            "untraceable",
+            "test",
+            "raw only",
+            &[BackendKind::Raw],
+            &[],
+            |_, _| 1000,
+            |cfg| Ok(RunReport::new("untraceable", cfg.backend, cfg.scale)),
+        ));
+        let cfg = RunCfg::new(BackendKind::Raw, Scale::Small)
+            .with_limits(RunLimits::new(None, 0).with_mem_budget(1, true));
+        match r2.run_cfg("untraceable", cfg) {
+            Err(EngineError::InvalidConfig { reason, .. }) => {
+                assert!(reason.contains("no degradation rung fits"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_reports_surface_as_typed_invariant_errors() {
+        use crate::traffic::Traffic;
+        // Conservation-violating report: the backing level claims fewer
+        // writes than the last boundary stores into it.
+        let mut r = Registry::new();
+        r.register(FnWorkload::boxed(
+            "liar",
+            "test",
+            "reports inconsistent counters",
+            &[BackendKind::Raw],
+            |cfg| {
+                let mut rep = RunReport::new("liar", cfg.backend, cfg.scale);
+                let mut t = Traffic::ZERO;
+                t.load(100);
+                t.store(40);
+                rep.boundaries = vec![t];
+                rep.writes_per_level = vec![100, 39]; // 39 ≠ 40 stored
+                Ok(rep)
+            },
+        ));
+        let cfg = RunCfg::new(BackendKind::Raw, Scale::Small);
+        match r.run_cfg("liar", cfg) {
+            Err(EngineError::ReportInvariant { violation, .. }) => {
+                assert!(violation.contains("conservation"), "{violation}");
+            }
+            other => panic!("expected ReportInvariant, got {other:?}"),
+        }
     }
 
     #[test]

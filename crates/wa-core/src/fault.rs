@@ -173,18 +173,16 @@ impl FaultPlan {
 pub const CORRUPTION_OFFSET: u64 = 0xBAD;
 
 /// Deterministically corrupt a report's traffic counters in place: every
-/// per-level write count and every boundary's word/message counters gain
-/// [`CORRUPTION_OFFSET`]. A note marks the report so the rig can tell an
-/// injected corruption from a genuine counter bug.
+/// per-level write count and the flop counter gain [`CORRUPTION_OFFSET`].
+/// The boundary counters are deliberately left alone — an *asymmetric*
+/// corruption, like a real single-counter bug, which breaks the
+/// per-level/boundary conservation invariants that
+/// [`RunReport::validate`](crate::report::RunReport::validate) checks.
+/// A note marks the report so the rig can tell an injected corruption
+/// from a genuine counter bug.
 pub fn corrupt_report(r: &mut RunReport) {
     for w in &mut r.writes_per_level {
         *w += CORRUPTION_OFFSET;
-    }
-    for b in &mut r.boundaries {
-        b.load_words += CORRUPTION_OFFSET;
-        b.store_words += CORRUPTION_OFFSET;
-        b.load_msgs += CORRUPTION_OFFSET;
-        b.store_msgs += CORRUPTION_OFFSET;
     }
     r.flops += CORRUPTION_OFFSET;
     r.notes

@@ -30,6 +30,9 @@
 //! * [`fault`] — deterministic fault injection (panic / stall / counter
 //!   corruption on a workload's Nth invocation), the rig that exercises
 //!   the engine's containment, deadline, and retry machinery;
+//! * [`cancel`] — cooperative cancellation: the [`cancel::CancelToken`]
+//!   the watchdog fires and the simulators observe every N accesses, the
+//!   thread-local install point, and the SIGINT → resumable-exit path;
 //! * [`obs`] — the zero-cost-when-off span/event recorder behind
 //!   `harness run --trace` and `harness profile`: the engine and `par`
 //!   emit spans/occupancy into it, `memsim` probes emit counter tracks
@@ -39,6 +42,7 @@
 //!   write-backs for every capacity from one trace pass.
 
 pub mod bounds;
+pub mod cancel;
 pub mod cost;
 pub mod curve;
 pub mod engine;
@@ -50,6 +54,7 @@ pub mod report;
 pub mod rng;
 pub mod traffic;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use cost::CostParams;
 pub use curve::{CapacityCurve, CurvePoint};
 pub use engine::{

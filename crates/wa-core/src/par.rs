@@ -54,6 +54,12 @@ pub fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(c) = payload.downcast_ref::<crate::cancel::CancellationUnwind>() {
+        format!(
+            "cancelled ({}) after {} accesses",
+            c.reason.as_str(),
+            c.after_accesses
+        )
     } else {
         "non-string panic payload".to_string()
     }
@@ -87,16 +93,24 @@ where
     }
 
     let next = AtomicUsize::new(0);
+    // Workers inherit the caller's cancel token (if any), so firing the
+    // token cancels every item of the batch, not just the calling thread.
+    let token = crate::cancel::current();
     let slots: Vec<Mutex<Option<Result<R, String>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
+        let (next, busy, slots, guarded) = (&next, &busy, &slots, &guarded);
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            let token = token.clone();
+            s.spawn(move || {
+                let _guard = token.map(crate::cancel::install);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = with_occupancy(busy, || guarded(&items[i]));
+                    *slots[i].lock().unwrap() = Some(r);
                 }
-                let r = with_occupancy(&busy, || guarded(&items[i]));
-                *slots[i].lock().unwrap() = Some(r);
             });
         }
         // Scope joins all workers; none can panic past `guarded`.

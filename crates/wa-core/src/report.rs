@@ -115,6 +115,99 @@ impl RunReport {
         self
     }
 
+    /// Structural invariants every well-formed report satisfies, checked
+    /// by the engine after every attempt (so a corrupted report surfaces
+    /// as a typed `ReportInvariant` error at the cell that produced it,
+    /// not as a silent cross-model disagreement three tables later):
+    ///
+    /// * `writes_per_level` has exactly one entry per level
+    ///   (boundaries + 1) when both are present;
+    /// * backing-store conservation: words written into the last level
+    ///   equal the stores across the last boundary — no model records
+    ///   local writes to the backing store;
+    /// * each interior level receives at least the writes its neighbor
+    ///   boundaries deliver (local R2 writes only add);
+    /// * an attached capacity curve is monotone (fills non-increasing,
+    ///   hits non-decreasing in capacity) and conserves write-backs
+    ///   (`dram_writes = writebacks + flush_writebacks` at every point).
+    ///
+    /// Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.boundaries.is_empty() && !self.writes_per_level.is_empty() {
+            let nb = self.boundaries.len();
+            if self.writes_per_level.len() != nb + 1 {
+                return Err(format!(
+                    "writes_per_level has {} entries for {} boundaries (want {})",
+                    self.writes_per_level.len(),
+                    nb,
+                    nb + 1
+                ));
+            }
+            // Writes delivered into level `lvl` (1-indexed) by boundary
+            // traffic alone: loads across boundary lvl-1 + stores across
+            // boundary lvl-2.
+            let delivered = |lvl: usize| -> u64 {
+                let mut w = 0;
+                if lvl <= nb {
+                    w += self.boundaries[lvl - 1].load_words;
+                }
+                if lvl >= 2 {
+                    w += self.boundaries[lvl - 2].store_words;
+                }
+                w
+            };
+            let last = self.writes_per_level[nb];
+            let stored = self.boundaries[nb - 1].store_words;
+            if last != stored {
+                return Err(format!(
+                    "backing-store conservation: writes_per_level[{nb}] = {last} \
+                     but the last boundary stores {stored} words"
+                ));
+            }
+            for lvl in 1..=nb {
+                let have = self.writes_per_level[lvl - 1];
+                let need = delivered(lvl);
+                if have < need {
+                    return Err(format!(
+                        "level {lvl} records {have} writes but its boundaries \
+                         deliver {need} words"
+                    ));
+                }
+            }
+        }
+        if let Some(curve) = &self.curve {
+            let ladder = curve.default_ladder();
+            let mut prev: Option<crate::curve::CurvePoint> = None;
+            for &c in &ladder {
+                let p = curve.at(c);
+                if p.dram_writes_lines() != p.writebacks + p.flush_writebacks {
+                    return Err(format!(
+                        "curve at {c} words: dram_writes {} != writebacks {} + flush {}",
+                        p.dram_writes_lines(),
+                        p.writebacks,
+                        p.flush_writebacks
+                    ));
+                }
+                if let Some(q) = &prev {
+                    if p.fills > q.fills {
+                        return Err(format!(
+                            "curve not monotone: fills grow {} -> {} from {} to {c} words",
+                            q.fills, p.fills, q.capacity_words
+                        ));
+                    }
+                    if p.hits < q.hits {
+                        return Err(format!(
+                            "curve not monotone: hits shrink {} -> {} from {} to {c} words",
+                            q.hits, p.hits, q.capacity_words
+                        ));
+                    }
+                }
+                prev = Some(p);
+            }
+        }
+        Ok(())
+    }
+
     /// Total words moved across the slowest boundary (e.g. LLC↔DRAM).
     pub fn slow_traffic(&self) -> Traffic {
         self.boundaries.last().copied().unwrap_or(Traffic::ZERO)

@@ -71,6 +71,7 @@ impl Traffic {
     /// Record a slow→fast transfer of `words` words as one message.
     #[inline]
     pub fn load(&mut self, words: u64) {
+        crate::cancel::tick(1);
         self.load_words += words;
         self.load_msgs += 1;
     }
@@ -78,6 +79,7 @@ impl Traffic {
     /// Record a fast→slow transfer of `words` words as one message.
     #[inline]
     pub fn store(&mut self, words: u64) {
+        crate::cancel::tick(1);
         self.store_words += words;
         self.store_msgs += 1;
     }
