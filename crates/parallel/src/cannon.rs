@@ -81,9 +81,12 @@ pub fn cannon(m: &mut Machine, a: &Mat, b: &Mat, q: usize, at: Staging) -> Mat {
         lb = nb_;
     }
 
+    // Assemble: each rank writes its finished C block to node-local NVM
+    // (nb² = n²/P words each, the trivial W1 lower bound).
     let mut c = Mat::zeros(n, n);
     for i in 0..q {
         for j in 0..q {
+            m.assemble_output(id(i, j), (nb * nb) as u64);
             let blk = &lc[id(i, j)];
             for r in 0..nb {
                 for s in 0..nb {
@@ -138,6 +141,21 @@ mod tests {
         let mc = m.max_counters();
         assert!(mc.l3_read_words > 0);
         assert!(mc.l3_write_words > 0);
-        assert_eq!(mc.l3_write_words, mc.net_recv_words);
+        // Every received word lands in NVM, plus the rank's own finished
+        // C block (nb² words) is written once at assembly.
+        let nbw = ((n / q) * (n / q)) as u64;
+        assert_eq!(mc.l3_write_words, mc.net_recv_words + nbw);
+    }
+
+    #[test]
+    fn l2_staging_still_charges_assembled_output() {
+        let q = 2;
+        let n = 8;
+        let a = Mat::random(n, n, 7);
+        let b = Mat::random(n, n, 8);
+        let mut m = Machine::new(q * q, CostParams::nvm_cluster());
+        let _ = cannon(&mut m, &a, &b, q, Staging::L2);
+        let nbw = ((n / q) * (n / q)) as u64;
+        assert_eq!(m.max_counters().l3_write_words, nbw);
     }
 }

@@ -152,6 +152,18 @@ impl Machine {
         n.l3_write_msgs += 1;
     }
 
+    /// Charge node `i` for materializing `words` of final output to its
+    /// slow level (NVM). Every distributed algorithm must write its share
+    /// of the result to slow memory — the paper's trivial lower bound
+    /// `W1 ≥ n²/P` counts exactly this traffic — so assembly is charged
+    /// regardless of where intermediate operands were staged. Algorithms
+    /// whose last writing action already put the final block in NVM
+    /// (summa-ool2's tile stores, LU's in-place block writes) must not
+    /// call this as well.
+    pub fn assemble_output(&mut self, i: usize, words: u64) {
+        self.l3_write(i, words);
+    }
+
     /// Charge node `i` for a local GEMM of shape `m×k×l` run with the
     /// sequential WA algorithm on an L1 of `m1` words: L2→L1 reads
     /// `ml + 2mkl/√(M1/3)`, L1→L2 writes `ml` (Algorithm 1's counts).

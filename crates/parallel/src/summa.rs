@@ -71,11 +71,14 @@ pub fn summa(m: &mut Machine, a: &Mat, b: &Mat, q: usize, panel: usize, at: Stag
         ks = ke;
     }
 
-    // Assemble (verification convenience; not charged — the output stays
-    // distributed in the real algorithm).
+    // Assemble the distributed output. Each rank materializes its C block
+    // to node-local NVM — nb² = n²/P words, the trivial W1 lower bound.
+    // (This used to be charged as free, which let classic SUMMA report
+    // zero NVM writes — below any algorithm's real write cost.)
     let mut c = Mat::zeros(n, n);
     for i in 0..q {
         for j in 0..q {
+            m.assemble_output(id(i, j), (nb * nb) as u64);
             let blk = &local_c[id(i, j)];
             for r in 0..nb {
                 for s in 0..nb {
@@ -158,6 +161,9 @@ pub fn summa_l3_ool2(m: &mut Machine, a: &Mat, b: &Mat, q: usize, m2: u64) -> Ma
         }
     }
 
+    // No assembly charge here: the per-tile NVM writes above *are* the
+    // output materialization (that is the point of ooL2 — it attains the
+    // W1 = n²/P bound exactly).
     let mut c = Mat::zeros(n, n);
     for i in 0..q {
         for j in 0..q {
