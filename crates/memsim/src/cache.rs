@@ -406,6 +406,18 @@ impl Level {
         }
     }
 
+    /// Clear `line`'s dirty bit if present, returning its previous
+    /// dirtiness. Residency and replacement state are untouched — this is
+    /// the per-level step of the hierarchy's clwb-style
+    /// `MemSim::writeback_range`, which pushes dirty data down without
+    /// evicting it.
+    pub fn clean(&mut self, line: u64) -> Option<bool> {
+        let slot = self.find(line)?;
+        let was_dirty = self.dirty[slot];
+        self.dirty[slot] = false;
+        Some(was_dirty)
+    }
+
     /// Invalidate `line` if present (inclusion maintenance). Returns the
     /// dirtiness of the dropped copy.
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {

@@ -501,6 +501,47 @@ impl MemSim {
         flushed
     }
 
+    /// Write the dirty lines of `[addr, addr + words)` down to the backing
+    /// store without evicting them — the clwb/persist primitive. Each
+    /// dirty line is charged as a `flush_victims_m` crossing at every
+    /// level it passes on the way down plus one `dram_writes_lines`, the
+    /// same attribution `flush` uses; clean or absent lines cost nothing,
+    /// and residency, recency, and the line memo all survive (a later
+    /// write re-dirties the cached copy). Returns lines written to the
+    /// backing store.
+    ///
+    /// This is what a distributed rank's "write block to NVM" maps to:
+    /// the block stays hot in cache but its bytes now live in slow memory.
+    pub fn writeback_range(&mut self, addr: usize, words: usize) -> u64 {
+        if words == 0 {
+            return 0;
+        }
+        let lw = self.line_words as u64;
+        let first = addr as u64 / lw;
+        let last = (addr + words - 1) as u64 / lw;
+        let n = self.levels.len();
+        let mut flushed = 0;
+        for line in first..=last {
+            // Carry dirtiness downward: a line dirty in a fast level has
+            // (by inclusion) a stale copy in every slower level, so the
+            // write-back crosses each of those boundaries too.
+            let mut dirty = false;
+            for i in 0..n {
+                if let Some(was_dirty) = self.levels[i].clean(line) {
+                    dirty |= was_dirty;
+                }
+                if dirty {
+                    self.levels[i].counters.flush_victims_m += 1;
+                }
+            }
+            if dirty {
+                self.dram_writes_lines += 1;
+                flushed += 1;
+            }
+        }
+        flushed
+    }
+
     /// Total resident lines at level `i` (diagnostics).
     pub fn resident_lines(&self, i: usize) -> usize {
         self.levels[i].resident_lines()
@@ -570,6 +611,55 @@ mod tests {
         assert_eq!(m.dram_writes_lines, 1);
         m.read(24); // line 3 -> evicts line 1, clean
         assert_eq!(m.llc().victims_e, 1);
+        assert_eq!(m.dram_writes_lines, 1);
+    }
+
+    #[test]
+    fn writeback_range_persists_dirty_lines_without_evicting() {
+        let mut m = MemSim::new(&[cfg(64, 0), cfg(256, 0)]);
+        m.write_range(0, 16); // lines 0 and 1 dirty in L1
+        assert_eq!(m.writeback_range(0, 16), 2);
+        assert_eq!(m.dram_writes_lines, 2);
+        // Attribution matches flush: one crossing per level per line.
+        assert_eq!(m.counters(0).flush_victims_m, 2);
+        assert_eq!(m.counters(1).flush_victims_m, 2);
+        // Still resident and clean: re-reading is a pure hit, and a full
+        // flush now writes nothing.
+        assert!(m.contains(0, 0) && m.contains(0, 8));
+        m.read(0);
+        assert_eq!(m.counters(0).fills, 2, "writeback must not evict");
+        assert_eq!(m.flush(), 0);
+        assert_eq!(m.dram_writes_lines, 2);
+    }
+
+    #[test]
+    fn writeback_range_ignores_clean_and_absent_lines() {
+        let mut m = MemSim::new(&[cfg(64, 0), cfg(256, 0)]);
+        m.read_range(0, 8); // line 0 resident, clean
+        assert_eq!(m.writeback_range(0, 32), 0); // lines 1-3 absent
+        assert_eq!(m.dram_writes_lines, 0);
+        assert_eq!(m.counters(0).flush_victims_m, 0);
+    }
+
+    #[test]
+    fn rewrite_after_writeback_is_charged_again() {
+        let mut m = MemSim::new(&[cfg(64, 0), cfg(256, 0)]);
+        m.write_range(0, 8);
+        assert_eq!(m.writeback_range(0, 8), 1);
+        assert_eq!(m.writeback_range(0, 8), 0, "already clean");
+        // The memo fast path must re-dirty the cleaned resident line.
+        m.write_range(0, 8);
+        assert_eq!(m.writeback_range(0, 8), 1);
+        assert_eq!(m.dram_writes_lines, 2);
+    }
+
+    #[test]
+    fn writeback_of_line_dirty_only_in_l1_crosses_both_boundaries() {
+        let mut m = MemSim::new(&[cfg(64, 0), cfg(256, 0)]);
+        m.write(3); // dirty in L1, clean (by inclusion) in L2
+        assert_eq!(m.writeback_range(0, 8), 1);
+        assert_eq!(m.counters(0).flush_victims_m, 1);
+        assert_eq!(m.counters(1).flush_victims_m, 1);
         assert_eq!(m.dram_writes_lines, 1);
     }
 

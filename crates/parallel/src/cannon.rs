@@ -5,7 +5,7 @@
 //! between simulated processors each step, so the data movement charged is
 //! the data movement performed.
 
-use crate::machine::{Machine, Staging};
+use crate::machine::{replay_gemm, Machine, Staging};
 use wa_core::Mat;
 
 /// C = A·B by Cannon's algorithm on a `q×q` torus. Per-processor network
@@ -22,6 +22,13 @@ pub fn cannon(m: &mut Machine, a: &Mat, b: &Mat, q: usize, at: Staging) -> Mat {
         Mat::from_fn(nb, nb, |r, s| src[(bi * nb + r, bj * nb + s)])
     };
 
+    // Symmetric rank-local layout: resident A/B blocks plus the C
+    // accumulator.
+    let bw = nb * nb;
+    let la_buf = m.alloc(bw);
+    let lb_buf = m.alloc(bw);
+    let lc_buf = m.alloc(bw);
+
     // Initial skew: processor (i,j) holds A(i, i+j) and B(i+j, j).
     let mut la: Vec<Mat> = Vec::with_capacity(q * q);
     let mut lb: Vec<Mat> = Vec::with_capacity(q * q);
@@ -35,10 +42,12 @@ pub fn cannon(m: &mut Machine, a: &Mat, b: &Mat, q: usize, at: Staging) -> Mat {
     for i in 0..q {
         for j in 0..q {
             if i > 0 {
-                m.transfer(id(i, j), id(i, (j + q - i) % q), (nb * nb) as u64, at, at);
+                let dst = id(i, (j + q - i) % q);
+                m.transfer(id(i, j), dst, bw as u64, at, at, la_buf, la_buf);
             }
             if j > 0 {
-                m.transfer(id(i, j), id((i + q - j) % q, j), (nb * nb) as u64, at, at);
+                let dst = id((i + q - j) % q, j);
+                m.transfer(id(i, j), dst, bw as u64, at, at, lb_buf, lb_buf);
             }
         }
     }
@@ -61,6 +70,10 @@ pub fn cannon(m: &mut Machine, a: &Mat, b: &Mat, q: usize, at: Staging) -> Mat {
                     }
                 }
                 m.node_mut(p).flops += 2 * (nb * nb * nb) as u64;
+                if m.has_sims() {
+                    let mut mem = m.rank_mem(p);
+                    replay_gemm(&mut mem, la_buf, lb_buf, lc_buf, nb, nb, nb);
+                }
             }
         }
         if step + 1 == q {
@@ -73,8 +86,24 @@ pub fn cannon(m: &mut Machine, a: &Mat, b: &Mat, q: usize, at: Staging) -> Mat {
             for j in 0..q {
                 na[id(i, j)] = la[id(i, (j + 1) % q)].clone();
                 nb_[id(i, j)] = lb[id((i + 1) % q, j)].clone();
-                m.transfer(id(i, (j + 1) % q), id(i, j), (nb * nb) as u64, at, at);
-                m.transfer(id((i + 1) % q, j), id(i, j), (nb * nb) as u64, at, at);
+                m.transfer(
+                    id(i, (j + 1) % q),
+                    id(i, j),
+                    bw as u64,
+                    at,
+                    at,
+                    la_buf,
+                    la_buf,
+                );
+                m.transfer(
+                    id((i + 1) % q, j),
+                    id(i, j),
+                    bw as u64,
+                    at,
+                    at,
+                    lb_buf,
+                    lb_buf,
+                );
             }
         }
         la = na;
@@ -86,7 +115,7 @@ pub fn cannon(m: &mut Machine, a: &Mat, b: &Mat, q: usize, at: Staging) -> Mat {
     let mut c = Mat::zeros(n, n);
     for i in 0..q {
         for j in 0..q {
-            m.assemble_output(id(i, j), (nb * nb) as u64);
+            m.assemble_output(id(i, j), lc_buf, (nb * nb) as u64);
             let blk = &lc[id(i, j)];
             for r in 0..nb {
                 for s in 0..nb {

@@ -18,7 +18,7 @@
 //! boundaries.
 
 use crate::collectives::charge_bcast;
-use crate::machine::{Machine, Staging};
+use crate::machine::{replay_block_rw, replay_gemm, Machine, Staging};
 use wa_core::Mat;
 
 /// In-place unblocked LU of `a[d0..d1, d0..d1]`.
@@ -100,48 +100,75 @@ pub fn parallel_lu(m: &mut Machine, a: &mut Mat, b: usize, variant: LunpVariant)
     let bw = (b * b) as u64;
     let rng = |blk: usize| (blk * b, (blk + 1) * b);
 
+    // Symmetric rank-local layout: every rank reserves a slot per block it
+    // can own under the cyclic distribution, plus receive buffers for the
+    // L/U/diagonal blocks that arrive over the network. Block (bi, bj)
+    // lives at the same local offset on whichever rank owns it.
+    let slots = nb.div_ceil(q);
+    let blk_base = m.alloc(slots * slots * b * b);
+    let recv_a = m.alloc(b * b);
+    let recv_b = m.alloc(b * b);
+    let diag_buf = m.alloc(b * b);
+    let addr = |bi: usize, bj: usize| blk_base + ((bi / q) * slots + (bj / q)) * (b * b);
+
     match variant {
         LunpVariant::RightLooking => {
             for i in 0..nb {
                 let od = owner(i, i, q);
                 // Factor the diagonal block (read from NVM, write back).
-                m.l3_read(od, bw);
+                m.l3_read_at(od, addr(i, i), bw);
                 lu_base(a, rng(i));
-                m.l3_write(od, bw);
+                if m.has_sims() {
+                    let mut mem = m.rank_mem(od);
+                    replay_block_rw(&mut mem, addr(i, i), b);
+                }
+                m.l3_write_at(od, addr(i, i), bw);
                 m.node_mut(od).flops += 2 * (b * b * b) as u64 / 3;
                 // Broadcast the factored diagonal along its row and column.
                 let col_party: Vec<usize> = (0..q).map(|r| owner(r + i, i, q)).collect();
-                charge_bcast(m, od, &col_party, bw, Staging::L2);
+                charge_bcast(m, od, &col_party, bw, Staging::L2, diag_buf);
                 let row_party: Vec<usize> = (0..q).map(|c| owner(i, c + i, q)).collect();
-                charge_bcast(m, od, &row_party, bw, Staging::L2);
+                charge_bcast(m, od, &row_party, bw, Staging::L2, diag_buf);
                 // Panel TRSMs.
                 for j in i + 1..nb {
                     let oj = owner(j, i, q);
-                    m.l3_read(oj, bw);
+                    m.l3_read_at(oj, addr(j, i), bw);
                     trsm_upper_right(a, rng(j), rng(i));
-                    m.l3_write(oj, bw);
+                    if m.has_sims() {
+                        let mut mem = m.rank_mem(oj);
+                        replay_gemm(&mut mem, diag_buf, diag_buf, addr(j, i), b, b, b);
+                    }
+                    m.l3_write_at(oj, addr(j, i), bw);
                     m.node_mut(oj).flops += (b * b * b) as u64;
                     let ok = owner(i, j, q);
-                    m.l3_read(ok, bw);
+                    m.l3_read_at(ok, addr(i, j), bw);
                     trsm_lower_unit(a, rng(i), rng(j));
-                    m.l3_write(ok, bw);
+                    if m.has_sims() {
+                        let mut mem = m.rank_mem(ok);
+                        replay_gemm(&mut mem, diag_buf, diag_buf, addr(i, j), b, b, b);
+                    }
+                    m.l3_write_at(ok, addr(i, j), bw);
                     m.node_mut(ok).flops += (b * b * b) as u64;
                 }
                 // Broadcast panels: L(j,i) along row j; U(i,k) along col k.
                 for j in i + 1..nb {
                     let parties: Vec<usize> = (0..q).map(|c| owner(j, c, q)).collect();
-                    charge_bcast(m, owner(j, i, q), &parties, bw, Staging::L2);
+                    charge_bcast(m, owner(j, i, q), &parties, bw, Staging::L2, recv_a);
                     let parties: Vec<usize> = (0..q).map(|r| owner(r, j, q)).collect();
-                    charge_bcast(m, owner(i, j, q), &parties, bw, Staging::L2);
+                    charge_bcast(m, owner(i, j, q), &parties, bw, Staging::L2, recv_b);
                 }
                 // Trailing update: the write-heavy part (each block read
                 // from and written back to NVM every step).
                 for j in i + 1..nb {
                     for k in i + 1..nb {
                         let o = owner(j, k, q);
-                        m.l3_read(o, bw);
+                        m.l3_read_at(o, addr(j, k), bw);
                         gemm_sub(a, rng(j), rng(k), rng(i));
-                        m.l3_write(o, bw);
+                        if m.has_sims() {
+                            let mut mem = m.rank_mem(o);
+                            replay_gemm(&mut mem, recv_a, recv_b, addr(j, k), b, b, b);
+                        }
+                        m.l3_write_at(o, addr(j, k), bw);
                         m.node_mut(o).flops += 2 * (b * b * b) as u64;
                     }
                 }
@@ -154,51 +181,73 @@ pub fn parallel_lu(m: &mut Machine, a: &mut Mat, b: usize, variant: LunpVariant)
                 // Each A(j,i) is accumulated in L2 and written to NVM once.
                 for j in 0..nb {
                     let o = owner(j, i, q);
-                    m.l3_read(o, bw); // A(j,i) into L2, stays resident
+                    m.l3_read_at(o, addr(j, i), bw); // A(j,i) into L2, stays resident
                     for k in 0..j.min(i) {
                         // L(j,k) travels along processor row j; U(k,i)
                         // along processor column i; both read from the
                         // owner's NVM and landing in the consumer's L2.
                         let ol = owner(j, k, q);
-                        if ol != o {
-                            m.transfer(ol, o, bw, Staging::L3, Staging::L2);
+                        let la = if ol != o {
+                            m.transfer(ol, o, bw, Staging::L3, Staging::L2, addr(j, k), recv_a);
+                            recv_a
                         } else {
-                            m.l3_read(o, bw);
-                        }
+                            m.l3_read_at(o, addr(j, k), bw);
+                            addr(j, k)
+                        };
                         let ou = owner(k, i, q);
-                        if ou != o {
-                            m.transfer(ou, o, bw, Staging::L3, Staging::L2);
+                        let ua = if ou != o {
+                            m.transfer(ou, o, bw, Staging::L3, Staging::L2, addr(k, i), recv_b);
+                            recv_b
                         } else {
-                            m.l3_read(o, bw);
-                        }
+                            m.l3_read_at(o, addr(k, i), bw);
+                            addr(k, i)
+                        };
                         gemm_sub(a, rng(j), rng(i), rng(k));
+                        if m.has_sims() {
+                            let mut mem = m.rank_mem(o);
+                            replay_gemm(&mut mem, la, ua, addr(j, i), b, b, b);
+                        }
                         m.node_mut(o).flops += 2 * (b * b * b) as u64;
                     }
                     if j < i {
                         // U(j,i) = L(j,j)⁻¹ A(j,i).
                         let od = owner(j, j, q);
-                        if od != o {
-                            m.transfer(od, o, bw, Staging::L3, Staging::L2);
+                        let ld = if od != o {
+                            m.transfer(od, o, bw, Staging::L3, Staging::L2, addr(j, j), diag_buf);
+                            diag_buf
                         } else {
-                            m.l3_read(o, bw);
-                        }
+                            m.l3_read_at(o, addr(j, j), bw);
+                            addr(j, j)
+                        };
                         trsm_lower_unit(a, rng(j), rng(i));
+                        if m.has_sims() {
+                            let mut mem = m.rank_mem(o);
+                            replay_gemm(&mut mem, ld, ld, addr(j, i), b, b, b);
+                        }
                         m.node_mut(o).flops += (b * b * b) as u64;
-                        m.l3_write(o, bw); // final U block: written once
+                        m.l3_write_at(o, addr(j, i), bw); // final U block: written once
                     }
                 }
                 // Factor the diagonal and the sub-diagonal column.
                 let od = owner(i, i, q);
                 lu_base(a, rng(i));
+                if m.has_sims() {
+                    let mut mem = m.rank_mem(od);
+                    replay_block_rw(&mut mem, addr(i, i), b);
+                }
                 m.node_mut(od).flops += 2 * (b * b * b) as u64 / 3;
-                m.l3_write(od, bw);
+                m.l3_write_at(od, addr(i, i), bw);
                 let col_party: Vec<usize> = (0..q).map(|r| owner(r + i, i, q)).collect();
-                charge_bcast(m, od, &col_party, bw, Staging::L2);
+                charge_bcast(m, od, &col_party, bw, Staging::L2, diag_buf);
                 for j in i + 1..nb {
                     let oj = owner(j, i, q);
                     trsm_upper_right(a, rng(j), rng(i));
+                    if m.has_sims() {
+                        let mut mem = m.rank_mem(oj);
+                        replay_gemm(&mut mem, diag_buf, diag_buf, addr(j, i), b, b, b);
+                    }
                     m.node_mut(oj).flops += (b * b * b) as u64;
-                    m.l3_write(oj, bw); // final L block: written once
+                    m.l3_write_at(oj, addr(j, i), bw); // final L block: written once
                 }
             }
         }

@@ -18,7 +18,7 @@
 //! as the fast level — Algorithm 1 traffic at the L2/L3 boundary).
 
 use crate::collectives::{charge_bcast, charge_gather, charge_reduce};
-use crate::machine::{Machine, Staging};
+use crate::machine::{replay_gemm, Machine, Staging};
 use wa_core::Mat;
 
 /// Configuration for one 2.5D run.
@@ -60,15 +60,23 @@ pub fn mm25d(m: &mut Machine, a: &Mat, b: &Mat, cfg: Mm25Config) -> Mat {
     // Node id: (layer l, row i, col j).
     let id = |l: usize, i: usize, j: usize| (l * q + i) * q + j;
 
+    // Symmetric rank-local layout: the gather landing zone, the A/B
+    // operand pair, and the partial-C accumulator.
+    let words_each = (2 * n * n / cfg.p) as u64;
+    let gath_buf = m.alloc(words_each as usize);
+    let ab_buf = m.alloc(2 * nb * nb);
+    let a_blk = ab_buf;
+    let b_blk = ab_buf + nb * nb;
+    let part_buf = m.alloc(nb * nb);
+
     // ----- Step 1: gather the 2D layout into the top layer's q×q blocks.
     // The original layout spreads 2n²/P words per processor; each top-layer
     // processor gathers c contributions.
-    let words_each = (2 * n * n / cfg.p) as u64;
     for i in 0..q {
         for j in 0..q {
             let root = id(0, i, j);
             let parties: Vec<usize> = (0..c).map(|l| id(l, i, j)).collect();
-            charge_gather(m, root, &parties, words_each, cfg.at);
+            charge_gather(m, root, &parties, words_each, cfg.at, gath_buf);
         }
     }
 
@@ -78,7 +86,7 @@ pub fn mm25d(m: &mut Machine, a: &Mat, b: &Mat, cfg: Mm25Config) -> Mat {
         for i in 0..q {
             for j in 0..q {
                 let parties: Vec<usize> = (0..c).map(|l| id(l, i, j)).collect();
-                charge_bcast(m, id(0, i, j), &parties, block_words, cfg.at);
+                charge_bcast(m, id(0, i, j), &parties, block_words, cfg.at, ab_buf);
             }
         }
     }
@@ -98,10 +106,12 @@ pub fn mm25d(m: &mut Machine, a: &Mat, b: &Mat, cfg: Mm25Config) -> Mat {
                     // Receive the needed A and B blocks (skew + shifts are
                     // charged as one transfer per step per operand).
                     if t > t0 || l > 0 || k != j {
-                        m.transfer(id(l, i, k), me, (nb * nb) as u64, cfg.at, cfg.at);
+                        let w = (nb * nb) as u64;
+                        m.transfer(id(l, i, k), me, w, cfg.at, cfg.at, a_blk, a_blk);
                     }
                     if t > t0 || l > 0 || k != i {
-                        m.transfer(id(l, k, j), me, (nb * nb) as u64, cfg.at, cfg.at);
+                        let w = (nb * nb) as u64;
+                        m.transfer(id(l, k, j), me, w, cfg.at, cfg.at, b_blk, b_blk);
                     }
                     // Local multiply-accumulate.
                     let cb = &mut partial[me];
@@ -116,13 +126,23 @@ pub fn mm25d(m: &mut Machine, a: &Mat, b: &Mat, cfg: Mm25Config) -> Mat {
                     }
                     if cfg.ool2 {
                         // Model 2.2 local traffic: Algorithm 1 at the
-                        // L2/L3 boundary with fast memory m2.
+                        // L2/L3 boundary with fast memory m2. The read
+                        // side stays a counter-only charge (the streaming
+                        // re-reads depend on a tiny m2-word L2 the rank
+                        // simulator does not model; NVM loads are not part
+                        // of the agreement contract). The write side — one
+                        // C-block writeback per step — is replayed so the
+                        // simulated NVM stores stay exact.
                         let bsz = (((cfg.m2 / 3) as f64).sqrt().floor() as u64).max(1);
                         let (mm, kk, ll) = (nb as u64, nb as u64, nb as u64);
                         m.l3_read(id(l, i, j), mm * ll + 2 * mm * kk * ll / bsz);
-                        m.l3_write(id(l, i, j), mm * ll);
+                        m.l3_write_at(id(l, i, j), part_buf, mm * ll);
                     }
                     m.node_mut(me).flops += 2 * (nb * nb * nb) as u64;
+                    if m.has_sims() {
+                        let mut mem = m.rank_mem(me);
+                        replay_gemm(&mut mem, a_blk, b_blk, part_buf, nb, nb, nb);
+                    }
                 }
             }
         }
@@ -134,7 +154,7 @@ pub fn mm25d(m: &mut Machine, a: &Mat, b: &Mat, cfg: Mm25Config) -> Mat {
         for j in 0..q {
             if c > 1 {
                 let parties: Vec<usize> = (0..c).map(|l| id(l, i, j)).collect();
-                charge_reduce(m, id(0, i, j), &parties, (nb * nb) as u64, cfg.at);
+                charge_reduce(m, id(0, i, j), &parties, (nb * nb) as u64, cfg.at, part_buf);
             }
             // The layer-0 root owns the final C block and must write it to
             // NVM (W1 ≥ n²/P) — unless the algorithm's last writing action
@@ -143,7 +163,7 @@ pub fn mm25d(m: &mut Machine, a: &Mat, b: &Mat, cfg: Mm25Config) -> Mat {
             // NVM on every Cannon step.
             let already_in_nvm = (c > 1 && cfg.at == Staging::L3) || (c == 1 && cfg.ool2);
             if !already_in_nvm {
-                m.assemble_output(id(0, i, j), (nb * nb) as u64);
+                m.assemble_output(id(0, i, j), part_buf, (nb * nb) as u64);
             }
             let mut sum = Mat::zeros(nb, nb);
             for l in 0..c {

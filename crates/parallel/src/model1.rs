@@ -73,17 +73,32 @@ fn run_summa_steps(m: &mut Machine, a: &Mat, b: &Mat, q: usize, m1: u64, hoard: 
     let nb = n / q;
     let id = |i: usize, j: usize| i * q + j;
     let mut local_c: Vec<Mat> = (0..q * q).map(|_| Mat::zeros(nb, nb)).collect();
+    let panel_buf = m.alloc(nb * nb);
 
     for step in 0..q {
         let ks = step * nb;
         // Row broadcast of A panels, column broadcast of B panels.
         for i in 0..q {
             let parties: Vec<usize> = (0..q).map(|j| id(i, j)).collect();
-            charge_bcast(m, id(i, step), &parties, (nb * nb) as u64, Staging::L2);
+            charge_bcast(
+                m,
+                id(i, step),
+                &parties,
+                (nb * nb) as u64,
+                Staging::L2,
+                panel_buf,
+            );
         }
         for j in 0..q {
             let parties: Vec<usize> = (0..q).map(|i| id(i, j)).collect();
-            charge_bcast(m, id(step, j), &parties, (nb * nb) as u64, Staging::L2);
+            charge_bcast(
+                m,
+                id(step, j),
+                &parties,
+                (nb * nb) as u64,
+                Staging::L2,
+                panel_buf,
+            );
         }
         if !hoard {
             for i in 0..q {

@@ -7,7 +7,7 @@
 //! the result is verified against a sequential product.
 
 use crate::collectives::charge_bcast;
-use crate::machine::{Machine, Staging};
+use crate::machine::{replay_gemm, Machine, Staging};
 use wa_core::Mat;
 
 /// Multiply a sub-range of A and B into a C accumulator block:
@@ -39,6 +39,12 @@ pub fn summa(m: &mut Machine, a: &Mat, b: &Mat, q: usize, panel: usize, at: Stag
     let nb = n / q;
     let id = |i: usize, j: usize| i * q + j;
 
+    // Symmetric rank-local layout: the C block plus the two panel
+    // receive buffers every rank holds.
+    let c_blk = m.alloc(nb * nb);
+    let a_buf = m.alloc(nb * panel.min(n));
+    let b_buf = m.alloc(panel.min(n) * nb);
+
     let mut local_c: Vec<Mat> = (0..q * q).map(|_| Mat::zeros(nb, nb)).collect();
 
     let mut ks = 0;
@@ -53,11 +59,11 @@ pub fn summa(m: &mut Machine, a: &Mat, b: &Mat, q: usize, panel: usize, at: Stag
             let owner_row = ks / nb;
             for i in 0..q {
                 let parties: Vec<usize> = (0..q).map(|j| id(i, j)).collect();
-                charge_bcast(m, id(i, owner_col), &parties, nb as u64 * w, at);
+                charge_bcast(m, id(i, owner_col), &parties, nb as u64 * w, at, a_buf);
             }
             for j in 0..q {
                 let parties: Vec<usize> = (0..q).map(|i| id(i, j)).collect();
-                charge_bcast(m, id(owner_row, j), &parties, w * nb as u64, at);
+                charge_bcast(m, id(owner_row, j), &parties, w * nb as u64, at, b_buf);
             }
         }
         // Local multiply-accumulate on every processor.
@@ -66,6 +72,10 @@ pub fn summa(m: &mut Machine, a: &Mat, b: &Mat, q: usize, panel: usize, at: Stag
             for j in 0..q {
                 gemm_into(&mut local_c[id(i, j)], a, b, (i * nb, j * nb), (ks, ke));
                 m.node_mut(id(i, j)).flops += 2 * (nb * nb) as u64 * w;
+                if m.has_sims() {
+                    let mut mem = m.rank_mem(id(i, j));
+                    replay_gemm(&mut mem, a_buf, b_buf, c_blk, nb, ke - ks, nb);
+                }
             }
         }
         ks = ke;
@@ -78,7 +88,7 @@ pub fn summa(m: &mut Machine, a: &Mat, b: &Mat, q: usize, panel: usize, at: Stag
     let mut c = Mat::zeros(n, n);
     for i in 0..q {
         for j in 0..q {
-            m.assemble_output(id(i, j), (nb * nb) as u64);
+            m.assemble_output(id(i, j), c_blk, (nb * nb) as u64);
             let blk = &local_c[id(i, j)];
             for r in 0..nb {
                 for s in 0..nb {
@@ -108,8 +118,17 @@ pub fn summa_l3_ool2(m: &mut Machine, a: &Mat, b: &Mat, q: usize, m2: u64) -> Ma
     // Tile loop over each processor's C block (identical tiling on all
     // processors, so one loop drives the whole grid step by step).
     let tiles = nb.div_ceil(b2);
+    // Rank-local layout, tile-contiguous: a WA implementation stores C
+    // tile-major so each finished b₂×b₂ tile is one whole-line NVM write
+    // (row-sliced tiles would straddle lines and overcharge the
+    // line-granular simulator relative to the word-granular counters).
+    let tile_stride = (b2 * b2).div_ceil(memsim::LINE_WORDS) * memsim::LINE_WORDS;
+    let c_tiles = m.alloc(tiles * tiles * tile_stride);
+    let a_buf = m.alloc(b2 * b2);
+    let b_buf = m.alloc(b2 * b2);
     for ti in 0..tiles {
         for tj in 0..tiles {
+            let tile_addr = c_tiles + (ti * tiles + tj) * tile_stride;
             // One SUMMA over the full shared dimension for this tile.
             let mut ks = 0;
             while ks < n {
@@ -121,14 +140,14 @@ pub fn summa_l3_ool2(m: &mut Machine, a: &Mat, b: &Mat, q: usize, m2: u64) -> Ma
                     // Panel read from the owner's NVM, broadcast, landing
                     // in L2 at the receivers (not written to NVM).
                     let root = id(i, owner);
-                    m.l3_read(root, b2 as u64 * w);
-                    charge_bcast(m, root, &parties, b2 as u64 * w, Staging::L2);
+                    m.l3_read_at(root, a_buf, b2 as u64 * w);
+                    charge_bcast(m, root, &parties, b2 as u64 * w, Staging::L2, a_buf);
                 }
                 for j in 0..q {
                     let parties: Vec<usize> = (0..q).map(|i| id(i, j)).collect();
                     let root = id(owner, j);
-                    m.l3_read(root, w * b2 as u64);
-                    charge_bcast(m, root, &parties, w * b2 as u64, Staging::L2);
+                    m.l3_read_at(root, b_buf, w * b2 as u64);
+                    charge_bcast(m, root, &parties, w * b2 as u64, Staging::L2, b_buf);
                 }
                 for gi in 0..q {
                     for gj in 0..q {
@@ -146,6 +165,10 @@ pub fn summa_l3_ool2(m: &mut Machine, a: &Mat, b: &Mat, q: usize, m2: u64) -> Ma
                             }
                         }
                         m.node_mut(id(gi, gj)).flops += 2 * (rows * cols) as u64 * w;
+                        if m.has_sims() {
+                            let mut mem = m.rank_mem(id(gi, gj));
+                            replay_gemm(&mut mem, a_buf, b_buf, tile_addr, rows, ke - ks, cols);
+                        }
                     }
                 }
                 ks = ke;
@@ -155,7 +178,7 @@ pub fn summa_l3_ool2(m: &mut Machine, a: &Mat, b: &Mat, q: usize, m2: u64) -> Ma
                 for gj in 0..q {
                     let rows = b2.min(nb - ti * b2);
                     let cols = b2.min(nb - tj * b2);
-                    m.l3_write(id(gi, gj), (rows * cols) as u64);
+                    m.l3_write_at(id(gi, gj), tile_addr, (rows * cols) as u64);
                 }
             }
         }
